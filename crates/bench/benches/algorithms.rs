@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the full distributed algorithms (simulation
+//! wall-clock). One bench per Table 1 row plus the adversarial lower-bound
+//! machinery, on fixed mid-size instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freezetag_core::{estimate_radius, run_algorithm, solve, Algorithm};
+use freezetag_instances::adversarial::theorem2_layout;
+use freezetag_instances::generators::{snake, uniform_disk};
+use freezetag_instances::AdmissibleTuple;
+use freezetag_sim::{AdversarialWorld, ConcreteWorld, Sim, WorldView};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let disk = uniform_disk(60, 12.0, 21);
+    let disk_tuple = disk.admissible_tuple();
+    let corridor = snake(4, 40.0, 2.0, 1.0);
+    let corridor_tuple = corridor.admissible_tuple();
+
+    let mut g = c.benchmark_group("algorithms");
+    g.sample_size(10);
+    g.bench_function("aseparator_disk_n60", |b| {
+        b.iter(|| black_box(solve(&disk, &disk_tuple, Algorithm::Separator).unwrap().makespan));
+    });
+    g.bench_function("agrid_disk_n60", |b| {
+        b.iter(|| black_box(solve(&disk, &disk_tuple, Algorithm::Grid).unwrap().makespan));
+    });
+    g.bench_function("awave_disk_n60", |b| {
+        b.iter(|| black_box(solve(&disk, &disk_tuple, Algorithm::Wave).unwrap().makespan));
+    });
+    g.bench_function("agrid_snake", |b| {
+        b.iter(|| {
+            black_box(
+                solve(&corridor, &corridor_tuple, Algorithm::Grid)
+                    .unwrap()
+                    .makespan,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversary");
+    g.sample_size(10);
+    g.bench_function("aseparator_vs_theorem2", |b| {
+        b.iter(|| {
+            let layout = theorem2_layout(2.0, 16.0, 10_000);
+            let tuple = AdmissibleTuple::new(2.0, 16.0, layout.n());
+            let mut sim = Sim::new(AdversarialWorld::new(layout));
+            run_algorithm(&mut sim, &tuple, Algorithm::Separator);
+            assert!(sim.world().all_awake());
+            black_box(sim.schedule().makespan())
+        });
+    });
+    g.finish();
+}
+
+fn bench_radius_estimate(c: &mut Criterion) {
+    let inst = uniform_disk(60, 15.0, 5);
+    let tuple = inst.admissible_tuple();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("estimate_radius", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            black_box(estimate_radius(&mut sim, tuple.ell).rho_hat)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_adversary, bench_radius_estimate);
+criterion_main!(benches);

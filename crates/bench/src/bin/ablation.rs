@@ -1,0 +1,175 @@
+//! Ablation studies for the design choices documented in DESIGN.md:
+//!
+//! 1. centralized wake-up strategy (chain / greedy / median-split /
+//!    midline quadtree / exact optimum on tiny inputs) — why Lemma 2's
+//!    substitute is the midline quadtree;
+//! 2. sweep row spacing — why `√2` (Lemma 1's coverage) and what breaks
+//!    beyond it;
+//! 3. discovery primitives — spiral vs k-team doubling search, the
+//!    `Θ(D + D²/k)` from the paper's introduction.
+//!
+//! Run with: `cargo run --release -p freezetag-bench --bin ablation`
+
+use freezetag_bench::{f1, f2, header, row};
+use freezetag_central::{
+    chain_wake_tree, greedy_wake_tree, median_wake_tree, optimal_makespan, quadtree_wake_tree,
+};
+use freezetag_core::{spiral_search, team_search};
+use freezetag_geometry::{Point, Rect};
+use freezetag_instances::generators::{clustered, uniform_disk};
+use freezetag_instances::Instance;
+use freezetag_sim::{ConcreteWorld, RobotId, Sim};
+
+fn main() {
+    central_strategies();
+    end_to_end_strategy();
+    sweep_spacing();
+    discovery_primitives();
+}
+
+/// The same ablation *inside* the full distributed algorithm: `ASeparator`
+/// with each Lemma 2 substitute plugged into its terminating rounds.
+fn end_to_end_strategy() {
+    use freezetag_central::WakeStrategy;
+    use freezetag_core::{a_separator, ASeparatorConfig};
+    use freezetag_sim::WorldView;
+    println!("\n## Ablation 1b — ASeparator end-to-end, per wake strategy\n");
+    header(&["workload", "quadtree", "greedy", "median", "chain"]);
+    for (label, inst) in [
+        ("disk n=120", uniform_disk(120, 20.0, 5)),
+        ("clusters", clustered(4, 30, 1.5, 20.0, 6)),
+    ] {
+        let tuple = inst.admissible_tuple();
+        let mut cells = vec![label.to_string()];
+        for strategy in WakeStrategy::ALL {
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            a_separator(&mut sim, &ASeparatorConfig { tuple, strategy });
+            assert!(sim.world().all_awake());
+            cells.push(f1(sim.schedule().makespan()));
+        }
+        row(&cells);
+    }
+    println!("\nconclusion: the distributed layers dominate the runtime, but the");
+    println!("chain substitute still loses measurably — Lemma 2's O(R) matters.");
+}
+
+fn items_of(inst: &Instance) -> Vec<(RobotId, Point)> {
+    inst.positions()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (RobotId::sleeper(i), p))
+        .collect()
+}
+
+fn central_strategies() {
+    println!("\n## Ablation 1 — centralized wake-up strategies (makespan)\n");
+    header(&["workload", "n", "chain", "greedy", "median", "quadtree(ours)"]);
+    let workloads: Vec<(&str, Instance)> = vec![
+        ("uniform", uniform_disk(150, 25.0, 11)),
+        ("clustered", clustered(4, 35, 1.5, 25.0, 12)),
+        ("skewed", {
+            let mut pts: Vec<Point> = uniform_disk(100, 3.0, 13).positions().to_vec();
+            pts.push(Point::new(80.0, 80.0));
+            Instance::new(pts)
+        }),
+    ];
+    for (label, inst) in &workloads {
+        let items = items_of(inst);
+        row(&[
+            label.to_string(),
+            items.len().to_string(),
+            f1(chain_wake_tree(Point::ORIGIN, &items).makespan()),
+            f1(greedy_wake_tree(Point::ORIGIN, &items).makespan()),
+            f1(median_wake_tree(Point::ORIGIN, &items).makespan()),
+            f1(quadtree_wake_tree(Point::ORIGIN, &items).makespan()),
+        ]);
+    }
+    println!("\ntiny inputs vs the exact optimum (branch & bound):");
+    header(&["n", "optimal", "quadtree", "greedy", "quadtree/opt"]);
+    for n in [4usize, 6, 8] {
+        let inst = uniform_disk(n, 5.0, 40 + n as u64);
+        let items = items_of(&inst);
+        let opt = optimal_makespan(Point::ORIGIN, inst.positions());
+        let quad = quadtree_wake_tree(Point::ORIGIN, &items).makespan();
+        let greedy = greedy_wake_tree(Point::ORIGIN, &items).makespan();
+        row(&[
+            n.to_string(),
+            f2(opt),
+            f2(quad),
+            f2(greedy),
+            f2(quad / opt),
+        ]);
+    }
+    println!("\nconclusion: the midline quadtree is the only variant that is");
+    println!("simultaneously O(R) on skewed inputs and close to optimal on");
+    println!("small ones — hence our Lemma 2 substitute (DESIGN.md §5).");
+}
+
+fn sweep_spacing() {
+    println!("\n## Ablation 2 — sweep row spacing (Lemma 1 coverage)\n");
+    header(&["row spacing", "robots found / 60", "sweep length"]);
+    let inst = uniform_disk(60, 9.0, 17);
+    let rect = Rect::with_size(Point::new(-10.0, -10.0), 20.0, 20.0);
+    for &spacing in &[1.0, std::f64::consts::SQRT_2, 2.0, 3.0] {
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let cols = (rect.width() / spacing).ceil().max(1.0) as usize;
+        let rows_n = (rect.height() / spacing).ceil().max(1.0) as usize;
+        let mut found = std::collections::BTreeSet::new();
+        for r in 0..rows_n {
+            let y = rect.min().y + (r as f64 + 0.5) * rect.height() / rows_n as f64;
+            for c in 0..cols {
+                let cc = if r % 2 == 0 { c } else { cols - 1 - c };
+                let x = rect.min().x + (cc as f64 + 0.5) * rect.width() / cols as f64;
+                sim.move_to(RobotId::SOURCE, Point::new(x, y));
+                for s in sim.look(RobotId::SOURCE) {
+                    found.insert(s.id);
+                }
+            }
+        }
+        row(&[
+            f2(spacing),
+            format!("{}", found.len()),
+            f1(sim.time(RobotId::SOURCE)),
+        ]);
+    }
+    println!("\nconclusion: spacing ≤ √2 finds everything (unit vision certifies");
+    println!("a √2-square); wider spacings trade misses for speed — Lemma 1's");
+    println!("constant is tight.");
+}
+
+fn discovery_primitives() {
+    println!("\n## Ablation 3 — discovery: spiral vs k-team doubling (intro)\n");
+    header(&["D", "spiral (k=1)", "team k=2", "team k=4", "team k=8"]);
+    for &d in &[6.0, 12.0, 24.0] {
+        let target = Point::new(d, d / 2.0);
+        let spiral = {
+            let inst = Instance::new(vec![target]);
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            spiral_search(&mut sim, RobotId::SOURCE, 256.0).duration
+        };
+        let mut cells = vec![f1(d), f1(spiral)];
+        for &k in &[2usize, 4, 8] {
+            let mut pts: Vec<Point> = (0..k - 1)
+                .map(|i| Point::new(0.01 * (i + 1) as f64, 0.0))
+                .collect();
+            pts.push(target);
+            let inst = Instance::new(pts);
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            let mut members = vec![RobotId::SOURCE];
+            for i in 0..k - 1 {
+                sim.move_to(*members.last().unwrap(), inst.positions()[i]);
+                members.push(sim.wake(*members.last().unwrap(), RobotId::sleeper(i)));
+            }
+            for &m in &members {
+                sim.move_to(m, Point::ORIGIN);
+            }
+            sim.barrier(&members);
+            let out = team_search(&mut sim, &members, 256.0);
+            assert!(!out.found.is_empty());
+            cells.push(f1(out.duration));
+        }
+        row(&cells);
+    }
+    println!("\nconclusion: per-robot discovery time falls ~1/k until the Θ(D)");
+    println!("term dominates — the Θ(D + D²/k) of the paper's introduction.");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figures 1 and 2** of the paper: the six phases of
+//! `ASeparator` (Initialization, DFSampling recruitment, separator
+//! exploration, recruitment, merge/reorganization, next round), as
+//! per-depth phase timings plus SVG snapshots.
+//!
+//! Run with: `cargo run --release -p freezetag-bench --bin fig_phases`
+//! Output:   `target/fig_phases.svg`
+
+use freezetag_bench::{f1, header, row};
+use freezetag_core::{run_algorithm, Algorithm};
+use freezetag_geometry::{Rect, Square};
+use freezetag_instances::generators::grid_lattice;
+use freezetag_sim::svg::{render_run, SvgOptions};
+use freezetag_sim::{ConcreteWorld, Sim, WorldView};
+use std::collections::BTreeMap;
+
+fn main() {
+    // The Figure 1/2 regime: ρ/ℓ large enough for several partition
+    // rounds.
+    let inst = grid_lattice(20, 20, 2.0);
+    let tuple = inst.admissible_tuple();
+    println!("instance: 20×20 lattice, spacing 2 — tuple {tuple}");
+
+    let mut sim = Sim::new(ConcreteWorld::new(&inst));
+    run_algorithm(&mut sim, &tuple, Algorithm::Separator);
+    assert!(sim.world().all_awake());
+    let (_, schedule, trace) = sim.into_parts();
+
+    println!("\n## Figures 1–2 — phase spans per recursion depth\n");
+    header(&["phase", "spans", "total time", "mean time", "detail (first span)"]);
+    let mut agg: BTreeMap<String, (f64, usize, String)> = BTreeMap::new();
+    for s in trace.spans() {
+        let e = agg
+            .entry(s.label.clone())
+            .or_insert((0.0, 0, s.detail.clone()));
+        e.0 += s.end - s.start;
+        e.1 += 1;
+    }
+    for (label, (total, count, detail)) in &agg {
+        row(&[
+            label.clone(),
+            count.to_string(),
+            f1(*total),
+            f1(*total / *count as f64),
+            detail.clone(),
+        ]);
+    }
+
+    println!("\n## chronological phase log (first 14 spans — the Figure 1 → 2 storyline)\n");
+    header(&["start", "end", "phase", "detail"]);
+    for s in trace.spans().iter().take(14) {
+        row(&[f1(s.start), f1(s.end), s.label.clone(), s.detail.clone()]);
+    }
+
+    println!("\n## wake-progress curve (robots awake over time)\n");
+    header(&["% of swarm", "time", "time/makespan"]);
+    let mut wake_times: Vec<f64> = schedule.wakes().iter().map(|w| w.time).collect();
+    wake_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let makespan = schedule.makespan();
+    for pct in [10usize, 25, 50, 75, 90, 100] {
+        let idx = (pct * wake_times.len()).div_ceil(100).saturating_sub(1);
+        let t = wake_times[idx.min(wake_times.len() - 1)];
+        row(&[format!("{pct}%"), f1(t), format!("{:.2}", t / makespan)]);
+    }
+
+    println!("\nmakespan {:.1}, completion {:.1}", schedule.makespan(), schedule.completion_time());
+
+    // SVG with the recursive square structure (Figure 1c / 2c visuals).
+    let big = Square::new(inst.source(), 2.0 * tuple.rho);
+    let mut rects: Vec<Rect> = vec![big.to_rect()];
+    for q in big.quadrants() {
+        rects.push(q.to_rect());
+        for qq in q.quadrants() {
+            rects.push(qq.to_rect());
+        }
+    }
+    let svg = render_run(
+        inst.source(),
+        inst.positions(),
+        Some(&schedule),
+        &rects,
+        &SvgOptions::default(),
+    );
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/fig_phases.svg", svg).expect("write svg");
+    println!("wrote target/fig_phases.svg");
+}

@@ -1,0 +1,233 @@
+//! Regenerates **Table 1** of the paper: makespan and energy of the three
+//! algorithms against their theoretical bounds, plus the two lower-bound
+//! rows (energy infeasibility and the Ω shapes).
+//!
+//! Absolute constants differ from the authors' (different exploration and
+//! wake-tree constants); the *shape* — bounded measured/bound ratios across
+//! the sweeps, who wins where, the energy hierarchy — is the reproduction
+//! target. EXPERIMENTS.md records a snapshot of this output.
+//!
+//! Run with: `cargo run --release -p freezetag-bench --bin table1`
+
+use freezetag_bench::{f1, f2, header, lattice_with, row, snake_with};
+use freezetag_core::bounds;
+use freezetag_core::{run_algorithm, solve, Algorithm};
+use freezetag_geometry::Point;
+use freezetag_instances::adversarial::{theorem2_layout, theorem3_layout};
+use freezetag_instances::AdmissibleTuple;
+use freezetag_sim::{AdversarialWorld, RobotId, Sim, WorldView};
+
+fn main() {
+    section_aseparator();
+    section_energy_constrained();
+    section_energy_feasibility();
+    section_infeasibility();
+    section_lower_bounds();
+    section_radius_approx();
+}
+
+/// Table 1's *energy column* as a feasibility matrix: each algorithm's
+/// worst-robot energy against per-robot budgets of the two shapes the
+/// paper assigns (`Θ(ℓ²)` and `Θ(ℓ² log ℓ)`, with our measured constants),
+/// across corridors of growing length. `ASeparator`'s energy grows with
+/// the instance (it has no budget in terms of ℓ alone), the wave
+/// algorithms' stay flat — the paper's energy hierarchy.
+fn section_energy_feasibility() {
+    println!("\n## Table 1, energy column — per-robot budget feasibility\n");
+    let ell = 2.0;
+    let grid_budget = 80.0 * bounds::grid_energy_shape(ell) + 60.0 * ell + 40.0;
+    let wave_budget = 1000.0 * bounds::wave_energy_shape(ell) + 500.0;
+    println!("budgets for ℓ={ell}: Θ(ℓ²) = {grid_budget:.0}, Θ(ℓ² log ℓ) = {wave_budget:.0}\n");
+    header(&[
+        "ξ (corridor)",
+        "alg",
+        "max-energy",
+        "fits Θ(ℓ²)?",
+        "fits Θ(ℓ² log ℓ)?",
+    ]);
+    for &xi in &[600.0, 1500.0, 3000.0] {
+        let inst = freezetag_bench::snake_with(ell, xi);
+        let tuple = inst.admissible_tuple();
+        for alg in [Algorithm::Grid, Algorithm::Wave, Algorithm::Separator] {
+            let rep = solve(&inst, &tuple, alg).expect("valid run");
+            row(&[
+                f1(xi),
+                alg.to_string(),
+                f1(rep.max_energy),
+                if rep.max_energy <= grid_budget { "yes" } else { "no" }.into(),
+                if rep.max_energy <= wave_budget { "yes" } else { "no" }.into(),
+            ]);
+        }
+    }
+    println!("\nshape check: AGrid always fits Θ(ℓ²); AWave needs exactly the");
+    println!("log factor and stays flat as ξ grows; ASeparator's per-robot");
+    println!("energy grows with the corridor and eventually fits neither —");
+    println!("Table 1's energy column, row by row.");
+}
+
+/// Table 1, row 1: `ASeparator` makespan `O(ρ + ℓ² log(ρ/ℓ))`.
+fn section_aseparator() {
+    println!("\n## Table 1, row 1 — ASeparator, makespan O(ρ + ℓ² log(ρ/ℓ))\n");
+    header(&[
+        "ℓ", "ρ", "n", "makespan", "bound", "ratio", "max-energy",
+    ]);
+    for &ell in &[1.0, 2.0, 4.0] {
+        for &ratio in &[8.0, 16.0, 32.0] {
+            let rho = ell * ratio;
+            let inst = lattice_with(ell, rho);
+            let tuple = inst.admissible_tuple();
+            let rep = solve(&inst, &tuple, Algorithm::Separator).expect("valid run");
+            assert!(rep.all_awake);
+            let bound = bounds::separator_makespan_bound(tuple.rho, tuple.ell);
+            row(&[
+                f1(tuple.ell),
+                f1(tuple.rho),
+                tuple.n.to_string(),
+                f1(rep.makespan),
+                f1(bound),
+                f2(rep.makespan / bound),
+                f1(rep.max_energy),
+            ]);
+        }
+    }
+    println!("\nshape check: the ratio column stays bounded as ρ/ℓ doubles →");
+    println!("the measured makespan follows ρ + ℓ² log(ρ/ℓ), Theorem 1.");
+}
+
+/// Table 1, rows 3–4: `AGrid` (energy Θ(ℓ²), makespan O(ξℓ)) vs `AWave`
+/// (energy Θ(ℓ² log ℓ), makespan O(ξ + ℓ² log(ξ/ℓ))).
+fn section_energy_constrained() {
+    println!("\n## Table 1, rows 3–4 — AGrid vs AWave on serpentine corridors\n");
+    header(&[
+        "ℓ", "ξ_ℓ", "alg", "makespan", "bound", "ratio", "max-energy", "energy-shape",
+    ]);
+    for &ell in &[1.0, 2.0] {
+        for &xi_target in &[60.0, 120.0, 240.0] {
+            let inst = snake_with(ell, xi_target * ell.max(1.0));
+            let tuple = inst.admissible_tuple();
+            let xi = inst
+                .params(Some(tuple.ell))
+                .xi_ell
+                .expect("snake connected");
+            for alg in [Algorithm::Grid, Algorithm::Wave] {
+                let rep = solve(&inst, &tuple, alg).expect("valid run");
+                assert!(rep.all_awake);
+                let (bound, eshape) = match alg {
+                    Algorithm::Grid => (
+                        bounds::grid_makespan_bound(xi, tuple.ell),
+                        bounds::grid_energy_shape(tuple.ell),
+                    ),
+                    _ => (
+                        bounds::wave_makespan_bound(xi, tuple.ell),
+                        bounds::wave_energy_shape(tuple.ell),
+                    ),
+                };
+                row(&[
+                    f1(tuple.ell),
+                    f1(xi),
+                    alg.to_string(),
+                    f1(rep.makespan),
+                    f1(bound),
+                    f2(rep.makespan / bound),
+                    f1(rep.max_energy),
+                    f1(eshape),
+                ]);
+            }
+        }
+    }
+    println!("\nshape check: AGrid's ratio is w.r.t. ξ·ℓ, AWave's w.r.t.");
+    println!("ξ + ℓ² log(ξ/ℓ); both stay bounded while AGrid's max-energy");
+    println!("stays Θ(ℓ²) and AWave's Θ(ℓ² log ℓ).");
+}
+
+/// Table 1, row 2 (Theorem 3): below `π(ℓ²−1)/2` energy, nothing wakes.
+fn section_infeasibility() {
+    println!("\n## Table 1, row 2 — infeasibility below B = π(ℓ²−1)/2 (Thm 3)\n");
+    header(&["ℓ", "threshold", "budget (90%)", "energy spent", "robots woken"]);
+    for &ell in &[4.0, 8.0, 16.0] {
+        let threshold = bounds::infeasible_energy_threshold(ell);
+        let budget = 0.9 * threshold;
+        let mut sim = Sim::new(AdversarialWorld::new(theorem3_layout(ell, 1)));
+        let rect = freezetag_geometry::Disk::new(Point::ORIGIN, ell).bounding_rect();
+        let mut spent = 0.0;
+        let mut woken = 0usize;
+        let mut pos = Point::ORIGIN;
+        for snap in freezetag_geometry::sweep::snapshot_positions(&rect) {
+            let step = pos.dist(snap);
+            if spent + step > budget {
+                break;
+            }
+            spent += step;
+            pos = snap;
+            sim.move_to(RobotId::SOURCE, snap);
+            let seen = sim.look(RobotId::SOURCE);
+            if let Some(s) = seen.first() {
+                sim.move_to(RobotId::SOURCE, s.pos);
+                sim.wake(RobotId::SOURCE, s.id);
+                woken += 1;
+                break;
+            }
+        }
+        assert_eq!(woken, 0, "Theorem 3 violated at ell={ell}");
+        row(&[
+            f1(ell),
+            f1(threshold),
+            f1(budget),
+            f1(spent),
+            woken.to_string(),
+        ]);
+    }
+    println!("\nshape check: the adaptive adversary hides the robot from any");
+    println!("searcher whose budget is below the Theorem 3 threshold.");
+}
+
+/// Table 1, lower-bound column (Theorems 2): the adversarial construction
+/// forces Ω(ρ + ℓ² log(ρ/ℓ)) on ASeparator itself.
+fn section_lower_bounds() {
+    println!("\n## Table 1, lower bounds — adaptive adversary (Thm 2)\n");
+    header(&[
+        "ℓ", "ρ", "m (disks)", "makespan", "Ω-shape", "ratio", "looks",
+    ]);
+    for &(ell, rho) in &[(2.0, 16.0), (2.0, 32.0), (4.0, 32.0), (4.0, 64.0)] {
+        let layout = theorem2_layout(ell, rho, 4000);
+        let m = layout.n();
+        let tuple = AdmissibleTuple::new(ell, rho, m);
+        let mut sim = Sim::new(AdversarialWorld::new(layout));
+        run_algorithm(&mut sim, &tuple, Algorithm::Separator);
+        assert!(sim.world().all_awake(), "adversarial robots must all wake");
+        let makespan = sim.schedule().makespan();
+        let shape = bounds::separator_makespan_bound(rho, ell);
+        row(&[
+            f1(ell),
+            f1(rho),
+            m.to_string(),
+            f1(makespan),
+            f1(shape),
+            f2(makespan / shape),
+            sim.world().look_count().to_string(),
+        ]);
+    }
+    println!("\nshape check: the measured/Ω ratio stays bounded from *below*");
+    println!("too — upper and lower bounds match (Theorems 1 + 2).");
+}
+
+/// Section 5: 3-approximation of ρ* knowing only ℓ.
+fn section_radius_approx() {
+    println!("\n## Section 5 — ρ* approximation knowing only ℓ\n");
+    header(&["ℓ", "ρ*", "ρ̂", "ρ̂/ρ*", "overhead (time)"]);
+    for &(ell, rho) in &[(1.0, 16.0), (2.0, 32.0), (4.0, 64.0)] {
+        let inst = lattice_with(ell, rho);
+        let p = inst.params(None);
+        let mut sim = Sim::new(freezetag_sim::ConcreteWorld::new(&inst));
+        let est = freezetag_core::estimate_radius(&mut sim, p.ell_star.max(1.0));
+        row(&[
+            f1(ell),
+            f1(p.rho_star),
+            f1(est.rho_hat),
+            f2(est.rho_hat / p.rho_star),
+            f1(est.duration),
+        ]);
+    }
+    println!("\nshape check: ρ̂/ρ* stays within a constant window (the paper's");
+    println!("3-approximation, up to the doubling granularity).");
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for the benchmark harness: the binaries in `src/bin/`
+//! regenerate every table and figure of the paper (see DESIGN.md §4 for
+//! the experiment index), and the Criterion benches in `benches/` track
+//! the implementation's wall-clock performance.
+
+use freezetag_instances::generators::{grid_lattice, snake};
+use freezetag_instances::Instance;
+
+/// A lattice instance with connectivity threshold exactly `ell` and radius
+/// ≈ `rho` — the standard workload for the `ASeparator` sweeps (ratio
+/// `ρ/ℓ` is the swept quantity in Theorems 1–2).
+pub fn lattice_with(ell: f64, rho: f64) -> Instance {
+    let side = ((rho / ell) * std::f64::consts::SQRT_2 / 2.0).ceil() as usize;
+    grid_lattice(side.max(2), side.max(2), ell)
+}
+
+/// A serpentine instance with threshold ≈ `ell` and eccentricity ≈ `xi` —
+/// the workload separating `AGrid` from `AWave` (Theorems 4–5).
+pub fn snake_with(ell: f64, xi: f64) -> Instance {
+    let legs = 4;
+    let leg = (xi / legs as f64).max(4.0 * ell);
+    snake(legs, leg, 2.0 * ell, ell)
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with separator line.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_with_has_requested_parameters() {
+        let inst = lattice_with(2.0, 24.0);
+        let p = inst.params(None);
+        assert!((p.ell_star - 2.0).abs() < 1e-9);
+        assert!(p.rho_star >= 20.0 && p.rho_star <= 40.0, "rho {}", p.rho_star);
+    }
+
+    #[test]
+    fn snake_with_hits_eccentricity_scale() {
+        let inst = snake_with(1.0, 120.0);
+        let p = inst.params(Some(1.0));
+        let xi = p.xi_ell.expect("connected");
+        assert!((80.0..=240.0).contains(&xi), "xi {xi}");
+    }
+}

@@ -1,0 +1,115 @@
+use crate::WakeTree;
+use freezetag_geometry::Point;
+use freezetag_sim::RobotId;
+use std::collections::HashMap;
+
+/// Earliest-finish greedy wake-up tree: repeatedly pick the
+/// (awake robot, sleeping robot) pair minimizing the wake time
+/// `t_awake + dist`, and commit it. A classic baseline — good on dense
+/// uniform swarms, but with no worst-case guarantee (compare against
+/// [`crate::quadtree_wake_tree`] in the benchmarks).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_sim::RobotId;
+/// use freezetag_central::greedy_wake_tree;
+///
+/// let items = vec![
+///     (RobotId::sleeper(0), Point::new(1.0, 0.0)),
+///     (RobotId::sleeper(1), Point::new(-1.0, 0.0)),
+/// ];
+/// let tree = greedy_wake_tree(Point::ORIGIN, &items);
+/// assert_eq!(tree.robot_count(), 2);
+/// // Greedy wakes the nearest first (tie broken by order), then forks.
+/// assert!((tree.makespan() - 3.0).abs() < 1e-9);
+/// ```
+pub fn greedy_wake_tree(root_pos: Point, items: &[(RobotId, Point)]) -> WakeTree {
+    let mut tree = WakeTree::new(root_pos);
+    // Active robots: (current position, available time, tree node they sit at).
+    let mut active: Vec<(Point, f64, usize)> = vec![(root_pos, 0.0, WakeTree::ROOT)];
+    let mut asleep: HashMap<RobotId, Point> = items.iter().copied().collect();
+    // Keep deterministic order for ties.
+    let mut asleep_order: Vec<RobotId> = items.iter().map(|&(r, _)| r).collect();
+
+    while !asleep_order.is_empty() {
+        let mut best: Option<(f64, usize, usize)> = None; // (finish, active idx, order idx)
+        for (ai, &(apos, atime, _)) in active.iter().enumerate() {
+            for (oi, r) in asleep_order.iter().enumerate() {
+                let p = asleep[r];
+                let finish = atime + apos.dist(p);
+                let better = match best {
+                    None => true,
+                    Some((bf, _, _)) => finish < bf - freezetag_geometry::EPS,
+                };
+                if better {
+                    best = Some((finish, ai, oi));
+                }
+            }
+        }
+        let (finish, ai, oi) = best.expect("asleep non-empty");
+        let robot = asleep_order.remove(oi);
+        let pos = asleep.remove(&robot).expect("tracked");
+        let parent_node = active[ai].2;
+        let node = tree.add_child(parent_node, robot, pos);
+        // The waker moves to the new node; the woken robot activates there.
+        active[ai] = (pos, finish, node);
+        active.push((pos, finish, node));
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_items(n: usize) -> Vec<(RobotId, Point)> {
+        (0..n)
+            .map(|i| (RobotId::sleeper(i), Point::new((i + 1) as f64, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn wakes_all_on_a_line() {
+        let tree = greedy_wake_tree(Point::ORIGIN, &line_items(6));
+        assert_eq!(tree.robot_count(), 6);
+        assert_eq!(tree.woken_robots().len(), 6);
+        // On a line greedy just walks right: makespan = 6.
+        assert!((tree.makespan() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forks_help_on_symmetric_input() {
+        let items = vec![
+            (RobotId::sleeper(0), Point::new(1.0, 0.0)),
+            (RobotId::sleeper(1), Point::new(-1.0, 0.0)),
+            (RobotId::sleeper(2), Point::new(2.0, 0.0)),
+            (RobotId::sleeper(3), Point::new(-2.0, 0.0)),
+        ];
+        let tree = greedy_wake_tree(Point::ORIGIN, &items);
+        // Wake (1,0); pair splits: one goes to 2, the other crosses to -1
+        // then -2. Makespan = 1 + 2 + 1 = 4 for the crosser.
+        assert!((tree.makespan() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tree = greedy_wake_tree(Point::ORIGIN, &[]);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn respects_binary_arity() {
+        // A star forces many forks; woken_robots() panics on structure
+        // violations, so reaching the assert is the test.
+        let items: Vec<_> = (0..30)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / 30.0;
+                (RobotId::sleeper(i), Point::new(a.cos() * 5.0, a.sin() * 5.0))
+            })
+            .collect();
+        let tree = greedy_wake_tree(Point::ORIGIN, &items);
+        assert_eq!(tree.woken_robots().len(), 30);
+    }
+}

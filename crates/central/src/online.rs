@@ -1,0 +1,223 @@
+//! Online Freeze Tag — the arrival-over-time setting the paper cites as
+//! the first step away from global knowledge (\[HNP06\], \[BW20\] in its
+//! bibliography): each sleeping robot *appears* at a release time not
+//! known in advance, and must then be reached by an awake robot.
+//!
+//! This module provides a greedy online baseline and an exact offline
+//! optimum (for tiny inputs) so the empirical competitive ratio can be
+//! measured — the quantity \[BW20\] bounds by `1 + √2` for their optimal
+//! online strategy.
+
+use freezetag_geometry::Point;
+
+/// An online request: a sleeping robot appearing at `release` at `pos`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineRequest {
+    /// Appearance (release) time.
+    pub release: f64,
+    /// Position of the sleeping robot.
+    pub pos: Point,
+}
+
+/// Greedy online strategy: whenever robots are available, commit the
+/// (awake robot, released request) pair with the earliest feasible wake
+/// time; unreleased requests are invisible until they appear. Returns the
+/// makespan (time of the last wake).
+///
+/// # Panics
+///
+/// Panics if any release time is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_central::online::{online_greedy_makespan, OnlineRequest};
+/// use freezetag_geometry::Point;
+///
+/// let reqs = [
+///     OnlineRequest { release: 0.0, pos: Point::new(1.0, 0.0) },
+///     OnlineRequest { release: 5.0, pos: Point::new(-1.0, 0.0) },
+/// ];
+/// let makespan = online_greedy_makespan(Point::ORIGIN, &reqs);
+/// assert!(makespan >= 5.0); // cannot wake before release
+/// ```
+pub fn online_greedy_makespan(source: Point, requests: &[OnlineRequest]) -> f64 {
+    for (i, r) in requests.iter().enumerate() {
+        assert!(
+            r.release >= 0.0 && r.release.is_finite(),
+            "request {i} has invalid release time"
+        );
+    }
+    let mut awake: Vec<(Point, f64)> = vec![(source, 0.0)];
+    let mut pending: Vec<OnlineRequest> = requests.to_vec();
+    pending.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite"));
+    let mut makespan = 0.0_f64;
+    while !pending.is_empty() {
+        // Earliest feasible (robot, request) commitment. A request only
+        // becomes visible at its release; the wake time is
+        // max(robot free time, release) + travel from the robot's
+        // position. (The greedy rule may not be optimal — that is the
+        // point of a baseline.)
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (ai, &(apos, afree)) in awake.iter().enumerate() {
+            for (ri, req) in pending.iter().enumerate() {
+                let depart = afree.max(req.release);
+                let finish = depart + apos.dist(req.pos);
+                if best.is_none_or(|(bf, _, _)| finish < bf - freezetag_geometry::EPS) {
+                    best = Some((finish, ai, ri));
+                }
+            }
+        }
+        let (finish, ai, ri) = best.expect("pending non-empty");
+        let req = pending.remove(ri);
+        awake[ai] = (req.pos, finish);
+        awake.push((req.pos, finish));
+        makespan = makespan.max(finish);
+    }
+    makespan
+}
+
+/// Exact offline optimum with release times, by branch and bound —
+/// exponential, intended for `n ≤ 8` ground truth.
+///
+/// # Panics
+///
+/// Panics if `requests.len() > 9`.
+pub fn offline_optimal_makespan(source: Point, requests: &[OnlineRequest]) -> f64 {
+    assert!(
+        requests.len() <= 9,
+        "offline_optimal_makespan is exponential; {} requests is too many",
+        requests.len()
+    );
+    if requests.is_empty() {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    let mut awake: Vec<(Point, f64)> = vec![(source, 0.0)];
+    let mut remaining: Vec<OnlineRequest> = requests.to_vec();
+    search(&mut awake, &mut remaining, 0.0, &mut best);
+    best
+}
+
+fn search(
+    awake: &mut Vec<(Point, f64)>,
+    remaining: &mut Vec<OnlineRequest>,
+    current_max: f64,
+    best: &mut f64,
+) {
+    if remaining.is_empty() {
+        *best = best.min(current_max);
+        return;
+    }
+    // Optimistic bound: every remaining request served by its best robot.
+    let mut lb = current_max;
+    for req in remaining.iter() {
+        let reach = awake
+            .iter()
+            .map(|&(p, t)| t.max(req.release) + p.dist(req.pos))
+            .fold(f64::INFINITY, f64::min);
+        lb = lb.max(reach);
+    }
+    if lb >= *best - freezetag_geometry::EPS {
+        return;
+    }
+    for ai in 0..awake.len() {
+        for ri in 0..remaining.len() {
+            let (apos, afree) = awake[ai];
+            let req = remaining[ri];
+            let finish = afree.max(req.release) + apos.dist(req.pos);
+            if finish >= *best - freezetag_geometry::EPS {
+                continue;
+            }
+            let saved = awake[ai];
+            awake[ai] = (req.pos, finish);
+            awake.push((req.pos, finish));
+            let removed = remaining.swap_remove(ri);
+            search(awake, remaining, current_max.max(finish), best);
+            remaining.push(removed);
+            let last = remaining.len() - 1;
+            remaining.swap(ri, last);
+            awake.pop();
+            awake[ai] = saved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_request_is_release_plus_travel() {
+        let reqs = [OnlineRequest {
+            release: 3.0,
+            pos: Point::new(4.0, 0.0),
+        }];
+        assert_eq!(online_greedy_makespan(Point::ORIGIN, &reqs), 7.0);
+        assert_eq!(offline_optimal_makespan(Point::ORIGIN, &reqs), 7.0);
+    }
+
+    #[test]
+    fn all_released_at_zero_matches_plain_freeze_tag() {
+        let pts = [Point::new(1.0, 0.0), Point::new(-1.0, 0.0)];
+        let reqs: Vec<OnlineRequest> = pts
+            .iter()
+            .map(|&pos| OnlineRequest { release: 0.0, pos })
+            .collect();
+        let opt = offline_optimal_makespan(Point::ORIGIN, &reqs);
+        let plain = crate::optimal_makespan(Point::ORIGIN, &pts);
+        assert!((opt - plain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waiting_for_late_release_is_forced() {
+        // A robot released very late dominates the makespan regardless of
+        // strategy.
+        let reqs = [
+            OnlineRequest {
+                release: 0.0,
+                pos: Point::new(1.0, 0.0),
+            },
+            OnlineRequest {
+                release: 100.0,
+                pos: Point::new(1.0, 1.0),
+            },
+        ];
+        let greedy = online_greedy_makespan(Point::ORIGIN, &reqs);
+        let opt = offline_optimal_makespan(Point::ORIGIN, &reqs);
+        assert!(greedy >= 100.0 && opt >= 100.0);
+        assert!((opt - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_never_better_than_offline_optimal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..6);
+            let reqs: Vec<OnlineRequest> = (0..n)
+                .map(|_| OnlineRequest {
+                    release: rng.gen_range(0.0..10.0),
+                    pos: Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)),
+                })
+                .collect();
+            let greedy = online_greedy_makespan(Point::ORIGIN, &reqs);
+            let opt = offline_optimal_makespan(Point::ORIGIN, &reqs);
+            assert!(greedy >= opt - 1e-9, "greedy {greedy} beat optimal {opt}");
+            // Empirical competitive window for the baseline on small
+            // inputs (BW20's optimal online strategy achieves 1 + √2).
+            assert!(
+                greedy <= 4.0 * opt + 1e-9,
+                "greedy ratio {} implausibly bad",
+                greedy / opt
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(online_greedy_makespan(Point::ORIGIN, &[]), 0.0);
+        assert_eq!(offline_optimal_makespan(Point::ORIGIN, &[]), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+use freezetag_geometry::Point;
+
+/// Exhaustive branch-and-bound for the optimal centralized makespan.
+///
+/// State: the multiset of awake robots as `(position, available time)`
+/// pairs plus the set of still-sleeping positions; branches over which
+/// awake robot wakes which sleeper next. Pruning: a branch is cut when its
+/// optimistic completion (current best wake time plus the largest remaining
+/// direct distance from any awake robot) already exceeds the incumbent.
+///
+/// Exponential — intended for `n ≤ 9` as ground truth in tests comparing
+/// [`crate::quadtree_wake_tree`] and [`crate::greedy_wake_tree`] against
+/// the true optimum (the paper cites NP-hardness of exactly this problem
+/// \[ABF+06, AAJ17\]).
+///
+/// # Panics
+///
+/// Panics if `sleepers.len() > 10` (guard against accidental blow-up).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_central::optimal_makespan;
+///
+/// let opt = optimal_makespan(Point::ORIGIN, &[Point::new(1.0, 0.0), Point::new(-1.0, 0.0)]);
+/// assert!((opt - 3.0).abs() < 1e-9);
+/// ```
+pub fn optimal_makespan(root_pos: Point, sleepers: &[Point]) -> f64 {
+    assert!(
+        sleepers.len() <= 10,
+        "optimal_makespan is exponential; {} sleepers is too many",
+        sleepers.len()
+    );
+    if sleepers.is_empty() {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    let mut awake: Vec<(Point, f64)> = vec![(root_pos, 0.0)];
+    let mut remaining: Vec<Point> = sleepers.to_vec();
+    search(&mut awake, &mut remaining, 0.0, &mut best);
+    best
+}
+
+fn lower_bound(awake: &[(Point, f64)], remaining: &[Point], current_max: f64) -> f64 {
+    // Each remaining sleeper must be reached by some awake robot: at least
+    // min over awake of (time + dist).
+    let mut lb = current_max;
+    for &p in remaining {
+        let reach = awake
+            .iter()
+            .map(|&(a, t)| t + a.dist(p))
+            .fold(f64::INFINITY, f64::min);
+        lb = lb.max(reach);
+    }
+    lb
+}
+
+fn search(
+    awake: &mut Vec<(Point, f64)>,
+    remaining: &mut Vec<Point>,
+    current_max: f64,
+    best: &mut f64,
+) {
+    if remaining.is_empty() {
+        *best = best.min(current_max);
+        return;
+    }
+    if lower_bound(awake, remaining, current_max) >= *best - freezetag_geometry::EPS {
+        return;
+    }
+    let n_awake = awake.len();
+    let n_rem = remaining.len();
+    for ai in 0..n_awake {
+        for ri in 0..n_rem {
+            let (apos, atime) = awake[ai];
+            let target = remaining[ri];
+            let finish = atime + apos.dist(target);
+            if finish >= *best - freezetag_geometry::EPS {
+                continue;
+            }
+            // Commit: waker relocates, woken robot activates.
+            let saved_awake = awake[ai];
+            awake[ai] = (target, finish);
+            awake.push((target, finish));
+            let saved_rem = remaining.swap_remove(ri);
+            search(awake, remaining, current_max.max(finish), best);
+            remaining.push(saved_rem);
+            let last = remaining.len() - 1;
+            remaining.swap(ri, last);
+            awake.pop();
+            awake[ai] = saved_awake;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_wake_tree, quadtree_wake_tree};
+    use freezetag_sim::RobotId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_robot_is_direct_distance() {
+        assert_eq!(optimal_makespan(Point::ORIGIN, &[Point::new(3.0, 4.0)]), 5.0);
+        assert_eq!(optimal_makespan(Point::ORIGIN, &[]), 0.0);
+    }
+
+    #[test]
+    fn symmetric_pair_requires_crossing() {
+        // (1,0) and (-1,0): optimum 3 (wake one, then both... one crosses).
+        let opt = optimal_makespan(
+            Point::ORIGIN,
+            &[Point::new(1.0, 0.0), Point::new(-1.0, 0.0)],
+        );
+        assert!((opt - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forking_beats_chaining() {
+        // Four points on a cross at distance 1: with forking the makespan
+        // is strictly less than the 4-chain.
+        let pts = [
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, -1.0),
+        ];
+        let opt = optimal_makespan(Point::ORIGIN, &pts);
+        assert!(opt < 4.0);
+        assert!(opt >= 1.0);
+    }
+
+    #[test]
+    fn strategies_are_never_better_than_optimal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for case in 0..8 {
+            let n = 3 + case % 4;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
+            let items: Vec<(RobotId, Point)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (RobotId::sleeper(i), p))
+                .collect();
+            let opt = optimal_makespan(Point::ORIGIN, &pts);
+            let quad = quadtree_wake_tree(Point::ORIGIN, &items).makespan();
+            let greedy = greedy_wake_tree(Point::ORIGIN, &items).makespan();
+            assert!(quad >= opt - 1e-9, "quadtree {quad} beat optimal {opt}");
+            assert!(greedy >= opt - 1e-9, "greedy {greedy} beat optimal {opt}");
+            // And stay within a sane approximation factor on tiny inputs.
+            assert!(quad <= 6.0 * opt + 1e-9, "quadtree ratio too big");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+use crate::{NodeId, WakeTree};
+use freezetag_sim::{RobotId, Sim, WorldView};
+
+/// Realizes a wake-up tree on the simulator — Algorithm 1 of the paper.
+///
+/// `carrier` must be awake and co-located with the tree's root position.
+/// The carrier moves to the root's child, wakes it and hands over half of
+/// the remaining tree: at every node the *woken* robot takes the first
+/// child subtree and the *waker* takes the second (lines 2–3 and 9–11 of
+/// Algorithm 1). Robots whose subtree is exhausted simply stop.
+///
+/// Returns the list of robots woken, in wake order. The makespan increase
+/// equals the tree's weighted depth ([`WakeTree::makespan`]), which the
+/// tests verify.
+///
+/// # Panics
+///
+/// Panics if the carrier is asleep, not at the root position, or the tree
+/// wakes a robot that is already awake (all algorithm bugs).
+pub fn realize<W: WorldView>(sim: &mut Sim<W>, carrier: RobotId, tree: &WakeTree) -> Vec<RobotId> {
+    let root_pos = tree.pos(WakeTree::ROOT);
+    assert!(
+        sim.pos(carrier).dist(root_pos) <= 1e-6,
+        "carrier {carrier} is not at the wake-tree root"
+    );
+    let mut woken = Vec::with_capacity(tree.robot_count());
+    // Explicit stack: (robot responsible, node to wake). Chains can be
+    // O(n) deep, so no recursion.
+    let mut stack: Vec<(RobotId, NodeId)> = Vec::new();
+    if let Some(&first) = tree.children(WakeTree::ROOT).first() {
+        stack.push((carrier, first));
+    }
+    while let Some((robot, node)) = stack.pop() {
+        sim.move_to(robot, tree.pos(node));
+        let target = tree.robot(node);
+        sim.wake(robot, target);
+        woken.push(target);
+        match *tree.children(node) {
+            [] => {}
+            [c1] => stack.push((target, c1)),
+            [c1, c2] => {
+                stack.push((target, c1));
+                stack.push((robot, c2));
+            }
+            _ => unreachable!("WakeTree enforces binary arity"),
+        }
+    }
+    woken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadtree_wake_tree;
+    use freezetag_geometry::Point;
+    use freezetag_instances::Instance;
+    use freezetag_sim::{validate, ConcreteWorld, ValidationOptions};
+
+    fn items_of(inst: &Instance) -> Vec<(RobotId, Point)> {
+        inst.positions()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (RobotId::sleeper(i), p))
+            .collect()
+    }
+
+    #[test]
+    fn realization_matches_tree_makespan() {
+        let inst = Instance::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(-1.0, -1.0),
+            Point::new(0.5, -2.0),
+            Point::new(3.0, 3.0),
+        ]);
+        let tree = quadtree_wake_tree(Point::ORIGIN, &items_of(&inst));
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let woken = realize(&mut sim, RobotId::SOURCE, &tree);
+        assert_eq!(woken.len(), 5);
+        assert!(sim.world().all_awake());
+        let (world, schedule, _) = sim.into_parts();
+        let _ = world;
+        assert!((schedule.makespan() - tree.makespan()).abs() < 1e-9);
+        let rep = validate(
+            &schedule,
+            Point::ORIGIN,
+            inst.positions(),
+            &ValidationOptions::default(),
+        )
+        .expect("valid realization");
+        assert_eq!(rep.wake_count, 5);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 5000 robots in a line: the tree degenerates to a chain.
+        let pts: Vec<Point> = (1..=5000).map(|i| Point::new(i as f64 * 0.001, 0.0)).collect();
+        let inst = Instance::new(pts);
+        let tree = quadtree_wake_tree(Point::ORIGIN, &items_of(&inst));
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let woken = realize(&mut sim, RobotId::SOURCE, &tree);
+        assert_eq!(woken.len(), 5000);
+        assert!(sim.world().all_awake());
+    }
+
+    #[test]
+    fn empty_tree_is_noop() {
+        let inst = Instance::new(vec![Point::new(5.0, 5.0)]);
+        let tree = crate::WakeTree::new(Point::ORIGIN);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let woken = realize(&mut sim, RobotId::SOURCE, &tree);
+        assert!(woken.is_empty());
+        assert_eq!(sim.time(RobotId::SOURCE), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn carrier_must_be_at_root() {
+        let inst = Instance::new(vec![Point::new(1.0, 0.0)]);
+        let tree = quadtree_wake_tree(Point::new(5.0, 5.0), &items_of(&inst));
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let _ = realize(&mut sim, RobotId::SOURCE, &tree);
+    }
+}

@@ -1,0 +1,94 @@
+use crate::{chain_wake_tree, greedy_wake_tree, median_wake_tree, quadtree_wake_tree, WakeTree};
+use freezetag_geometry::Point;
+use freezetag_sim::RobotId;
+use std::fmt;
+
+/// Selectable centralized wake-up strategy — lets the distributed
+/// algorithms ablate their Lemma 2 substitute end-to-end (see the
+/// `ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WakeStrategy {
+    /// Midline quadtree — `O(R)` makespan, the workspace default.
+    #[default]
+    Quadtree,
+    /// Earliest-finish greedy — strong on uniform swarms, no worst-case
+    /// guarantee.
+    Greedy,
+    /// Count-balanced median split — ablation foil for the midline choice.
+    MedianSplit,
+    /// Nearest-neighbour chain without forking — the naive baseline.
+    Chain,
+}
+
+impl WakeStrategy {
+    /// Builds a wake-up tree over `items` rooted at `root_pos` using this
+    /// strategy.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use freezetag_central::WakeStrategy;
+    /// use freezetag_geometry::Point;
+    /// use freezetag_sim::RobotId;
+    ///
+    /// let items = vec![(RobotId::sleeper(0), Point::new(0.0, 3.0))];
+    /// let tree = WakeStrategy::Greedy.build(Point::ORIGIN, &items);
+    /// assert_eq!(tree.makespan(), 3.0);
+    /// ```
+    pub fn build(self, root_pos: Point, items: &[(RobotId, Point)]) -> WakeTree {
+        match self {
+            WakeStrategy::Quadtree => quadtree_wake_tree(root_pos, items),
+            WakeStrategy::Greedy => greedy_wake_tree(root_pos, items),
+            WakeStrategy::MedianSplit => median_wake_tree(root_pos, items),
+            WakeStrategy::Chain => chain_wake_tree(root_pos, items),
+        }
+    }
+
+    /// All strategies, for sweeps.
+    pub const ALL: [WakeStrategy; 4] = [
+        WakeStrategy::Quadtree,
+        WakeStrategy::Greedy,
+        WakeStrategy::MedianSplit,
+        WakeStrategy::Chain,
+    ];
+}
+
+impl fmt::Display for WakeStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WakeStrategy::Quadtree => write!(f, "quadtree"),
+            WakeStrategy::Greedy => write!(f, "greedy"),
+            WakeStrategy::MedianSplit => write!(f, "median"),
+            WakeStrategy::Chain => write!(f, "chain"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_wakes_everyone() {
+        let items: Vec<(RobotId, Point)> = (0..25)
+            .map(|i| (RobotId::sleeper(i), Point::new((i % 5) as f64, (i / 5) as f64)))
+            .collect();
+        for s in WakeStrategy::ALL {
+            let tree = s.build(Point::new(2.0, 2.0), &items);
+            assert_eq!(tree.robot_count(), 25, "{s}");
+            assert_eq!(tree.woken_robots().len(), 25, "{s}");
+        }
+    }
+
+    #[test]
+    fn default_is_quadtree() {
+        assert_eq!(WakeStrategy::default(), WakeStrategy::Quadtree);
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: std::collections::BTreeSet<String> =
+            WakeStrategy::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

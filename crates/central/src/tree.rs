@@ -1,0 +1,211 @@
+use freezetag_geometry::Point;
+use freezetag_sim::RobotId;
+
+/// Index of a node inside a [`WakeTree`].
+pub type NodeId = usize;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    robot: RobotId,
+    pos: Point,
+    children: Vec<NodeId>,
+}
+
+/// A binary wake-up tree (Section 1.1 of the paper).
+///
+/// The root is the position of the initially-awake robot and has at most
+/// one child; every other node is a robot to wake and has at most two
+/// children (after a wake, exactly two robots — waker and woken — depart
+/// from the node, each towards one child subtree). The *makespan* of the
+/// tree is its weighted depth: the largest root-to-node path length.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_sim::RobotId;
+/// use freezetag_central::WakeTree;
+///
+/// let mut t = WakeTree::new(Point::ORIGIN);
+/// let a = t.add_child(WakeTree::ROOT, RobotId::sleeper(0), Point::new(3.0, 4.0));
+/// t.add_child(a, RobotId::sleeper(1), Point::new(3.0, 5.0));
+/// assert_eq!(t.makespan(), 6.0); // 5 + 1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WakeTree {
+    nodes: Vec<Node>,
+}
+
+impl WakeTree {
+    /// The root's node id.
+    pub const ROOT: NodeId = 0;
+
+    /// A tree containing only the root (the initially-awake robot's
+    /// position); realizes to a no-op.
+    pub fn new(root_pos: Point) -> Self {
+        WakeTree {
+            nodes: vec![Node {
+                robot: RobotId::SOURCE,
+                pos: root_pos,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Adds a wake of `robot` (at position `pos`) as a child of `parent`.
+    /// Returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist, if the root would get a second
+    /// child, or any other node a third child.
+    pub fn add_child(&mut self, parent: NodeId, robot: RobotId, pos: Point) -> NodeId {
+        let limit = if parent == Self::ROOT { 1 } else { 2 };
+        assert!(
+            self.nodes[parent].children.len() < limit,
+            "node {parent} already has {} children (limit {limit})",
+            self.nodes[parent].children.len()
+        );
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            robot,
+            pos,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// The robot woken at `node` (the source for the root).
+    pub fn robot(&self, node: NodeId) -> RobotId {
+        self.nodes[node].robot
+    }
+
+    /// The position of `node`.
+    pub fn pos(&self, node: NodeId) -> Point {
+        self.nodes[node].pos
+    }
+
+    /// Children of `node` (≤ 1 for the root, ≤ 2 otherwise).
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node].children
+    }
+
+    /// Total number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of robots to wake (nodes minus the root).
+    pub fn robot_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The weighted depth: max over nodes of the root-to-node path length,
+    /// where each edge weighs the Euclidean distance between endpoint
+    /// positions. This equals the makespan of realizing the tree with
+    /// Algorithm 1.
+    pub fn makespan(&self) -> f64 {
+        let mut best: f64 = 0.0;
+        let mut stack: Vec<(NodeId, f64)> = vec![(Self::ROOT, 0.0)];
+        while let Some((v, d)) = stack.pop() {
+            best = best.max(d);
+            for &c in &self.nodes[v].children {
+                let w = self.nodes[v].pos.dist(self.nodes[c].pos);
+                stack.push((c, d + w));
+            }
+        }
+        best
+    }
+
+    /// Total edge weight of the tree (sum of all wake-travel distances —
+    /// the swarm's total energy for the realization, ignoring entry legs).
+    pub fn total_length(&self) -> f64 {
+        let mut sum = 0.0;
+        for (v, node) in self.nodes.iter().enumerate() {
+            for &c in &node.children {
+                sum += self.nodes[v].pos.dist(self.nodes[c].pos);
+            }
+        }
+        sum
+    }
+
+    /// Checks structural sanity: every non-root robot appears exactly once
+    /// and is not the source. Returns the sorted list of woken robots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicates or a source-waking node.
+    pub fn woken_robots(&self) -> Vec<RobotId> {
+        let mut robots: Vec<RobotId> = self.nodes[1..].iter().map(|n| n.robot).collect();
+        robots.sort_unstable();
+        for w in robots.windows(2) {
+            assert!(w[0] != w[1], "robot {} woken twice", w[0]);
+        }
+        assert!(
+            !robots.contains(&RobotId::SOURCE),
+            "tree wakes the source robot"
+        );
+        robots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_only_tree() {
+        let t = WakeTree::new(Point::ORIGIN);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.robot_count(), 0);
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.total_length(), 0.0);
+        assert!(t.woken_robots().is_empty());
+    }
+
+    #[test]
+    fn makespan_is_deepest_path() {
+        let mut t = WakeTree::new(Point::ORIGIN);
+        let a = t.add_child(WakeTree::ROOT, RobotId::sleeper(0), Point::new(1.0, 0.0));
+        let b = t.add_child(a, RobotId::sleeper(1), Point::new(1.0, 2.0));
+        t.add_child(a, RobotId::sleeper(2), Point::new(4.0, 0.0));
+        t.add_child(b, RobotId::sleeper(3), Point::new(1.0, 2.5));
+        // Paths: 1+2+0.5 = 3.5 vs 1+3 = 4.
+        assert_eq!(t.makespan(), 4.0);
+        assert_eq!(t.total_length(), 1.0 + 2.0 + 3.0 + 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn root_cannot_have_two_children() {
+        let mut t = WakeTree::new(Point::ORIGIN);
+        t.add_child(WakeTree::ROOT, RobotId::sleeper(0), Point::new(1.0, 0.0));
+        t.add_child(WakeTree::ROOT, RobotId::sleeper(1), Point::new(2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_node_capped_at_two_children() {
+        let mut t = WakeTree::new(Point::ORIGIN);
+        let a = t.add_child(WakeTree::ROOT, RobotId::sleeper(0), Point::new(1.0, 0.0));
+        t.add_child(a, RobotId::sleeper(1), Point::new(2.0, 0.0));
+        t.add_child(a, RobotId::sleeper(2), Point::new(3.0, 0.0));
+        t.add_child(a, RobotId::sleeper(3), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_robot_is_caught() {
+        let mut t = WakeTree::new(Point::ORIGIN);
+        let a = t.add_child(WakeTree::ROOT, RobotId::sleeper(0), Point::new(1.0, 0.0));
+        t.add_child(a, RobotId::sleeper(0), Point::new(2.0, 0.0));
+        let _ = t.woken_robots();
+    }
+}

@@ -1,0 +1,70 @@
+//! The theoretical bound formulas of Table 1, used by tests and the bench
+//! harness to report measured/bound ratios.
+
+/// `ASeparator` upper bound and the matching unconstrained lower bound:
+/// `ρ + ℓ² log(ρ/ℓ)` (Theorems 1 and 2).
+pub fn separator_makespan_bound(rho: f64, ell: f64) -> f64 {
+    rho + ell * ell * (rho / ell).max(2.0).log2()
+}
+
+/// `AGrid` upper bound: `ξ_ℓ · ℓ` (Theorem 4).
+pub fn grid_makespan_bound(xi: f64, ell: f64) -> f64 {
+    xi * ell
+}
+
+/// `AWave` upper bound and the matching energy-constrained lower bound:
+/// `ξ_ℓ + ℓ² log(ξ_ℓ/ℓ)` (Theorems 5 and 6).
+pub fn wave_makespan_bound(xi: f64, ell: f64) -> f64 {
+    xi + ell * ell * (xi / ell).max(2.0).log2()
+}
+
+/// The energy threshold below which the dFTP is unsolvable:
+/// `π(ℓ² − 1)/2` (Theorem 3).
+pub fn infeasible_energy_threshold(ell: f64) -> f64 {
+    std::f64::consts::PI * (ell * ell - 1.0) / 2.0
+}
+
+/// `AGrid`'s energy budget shape: `Θ(ℓ²)`.
+pub fn grid_energy_shape(ell: f64) -> f64 {
+    ell * ell
+}
+
+/// `AWave`'s energy budget shape: `Θ(ℓ² log ℓ)`.
+pub fn wave_energy_shape(ell: f64) -> f64 {
+    let l = ell.max(4.0);
+    l * l * l.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_monotone_in_their_arguments() {
+        assert!(separator_makespan_bound(100.0, 4.0) < separator_makespan_bound(200.0, 4.0));
+        assert!(separator_makespan_bound(100.0, 2.0) < separator_makespan_bound(100.0, 8.0));
+        assert!(grid_makespan_bound(50.0, 2.0) < grid_makespan_bound(100.0, 2.0));
+        assert!(wave_makespan_bound(50.0, 2.0) < wave_makespan_bound(500.0, 2.0));
+    }
+
+    #[test]
+    fn log_terms_clamp_below_ratio_two() {
+        // rho/ell < 2 must not produce negative log contributions.
+        assert!(separator_makespan_bound(2.0, 2.0) >= 2.0);
+        assert!(wave_makespan_bound(2.0, 2.0) >= 2.0);
+    }
+
+    #[test]
+    fn infeasibility_threshold_matches_paper() {
+        let t = infeasible_energy_threshold(3.0);
+        assert!((t - std::f64::consts::PI * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_shapes_order() {
+        // For the same ℓ: grid budget < wave budget (the paper's tradeoff).
+        for ell in [4.0, 8.0, 16.0] {
+            assert!(grid_energy_shape(ell) < wave_energy_shape(ell));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The `Explore` procedure — Lemma 1 of the paper.
+//!
+//! A team of `k` co-located robots explores a `w × h` rectangle in time
+//! `O(wh/k + w + h)`: the rectangle is cut into `k` horizontal strips, each
+//! robot sweeps one strip in boustrophedon order taking a unit-vision
+//! snapshot every `√2` of movement (rows spaced `√2`), and the team
+//! rendezvouses at a designated endpoint.
+
+use crate::team::Team;
+use freezetag_geometry::{sweep, Point, Rect};
+use freezetag_sim::{Sighting, Sim, WorldView};
+use std::collections::BTreeMap;
+
+/// Explores `rect` with the whole team, then gathers everyone at
+/// `endpoint` (synchronized). Returns all sleeping robots observed during
+/// the sweep, deduplicated, in id order.
+///
+/// The returned sightings may include robots slightly *outside* `rect`
+/// (unit vision bleeds over the border); callers filter by their region of
+/// responsibility.
+///
+/// # Panics
+///
+/// Panics if any team member is asleep (a bug in the calling algorithm).
+pub(crate) fn explore<W: WorldView>(
+    sim: &mut Sim<W>,
+    team: &Team,
+    rect: &Rect,
+    endpoint: Point,
+) -> Vec<Sighting> {
+    let strips = rect.horizontal_strips(team.len());
+    let mut seen: BTreeMap<freezetag_sim::RobotId, Sighting> = BTreeMap::new();
+    for (i, &robot) in team.members().iter().enumerate() {
+        // Teams may outnumber strips only when len > strips (never: strips
+        // = len); each member sweeps exactly one strip.
+        let strip = &strips[i];
+        for snap in sweep::snapshot_positions(strip) {
+            sim.move_to(robot, snap);
+            for s in sim.look(robot) {
+                seen.insert(s.id, s);
+            }
+        }
+        sim.move_to(robot, endpoint);
+    }
+    team.sync(sim);
+    seen.into_values().collect()
+}
+
+/// Theoretical duration bound for [`explore`]: entry leg + strip sweep +
+/// exit leg, maximized over members (Lemma 1's `O(wh/k + w + h)` with
+/// explicit constants). Exercised by the tests and the figure-4 bench.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn explore_bound(rect: &Rect, k: usize, entry_dist: f64, exit_dist: f64) -> f64 {
+    let strip_h = rect.height() / k.max(1) as f64;
+    let strip = Rect::with_size(rect.min(), rect.width(), strip_h);
+    entry_dist + rect.height() + sweep::sweep_length_bound(&strip) + exit_dist + rect.height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezetag_instances::Instance;
+    use freezetag_sim::{ConcreteWorld, RobotId};
+
+    fn team_of_awake<WV: WorldView>(_sim: &mut Sim<WV>, ids: &[RobotId]) -> Team {
+        Team::new(ids.to_vec())
+    }
+
+    #[test]
+    fn single_robot_finds_everything_in_rect() {
+        let inst = Instance::new(vec![
+            Point::new(3.0, 3.0),
+            Point::new(7.5, 1.2),
+            Point::new(0.5, 7.5),
+            Point::new(20.0, 20.0), // outside
+        ]);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let team = team_of_awake(&mut sim, &[RobotId::SOURCE]);
+        let rect = Rect::with_size(Point::ORIGIN, 8.0, 8.0);
+        let seen = explore(&mut sim, &team, &rect, Point::ORIGIN);
+        let ids: Vec<RobotId> = seen.iter().map(|s| s.id).collect();
+        assert!(ids.contains(&RobotId::sleeper(0)));
+        assert!(ids.contains(&RobotId::sleeper(1)));
+        assert!(ids.contains(&RobotId::sleeper(2)));
+        assert!(!ids.contains(&RobotId::sleeper(3)));
+        // Team ends at the endpoint.
+        assert_eq!(sim.pos(RobotId::SOURCE), Point::ORIGIN);
+    }
+
+    #[test]
+    fn team_exploration_is_faster() {
+        // Compare duration of exploring the same rectangle with 1 vs 4
+        // robots (robots pre-woken by hand at the origin).
+        let sleepers: Vec<Point> = (0..3).map(|i| Point::new(0.3 + i as f64 * 0.1, 0.0)).collect();
+        let build = |k: usize| -> f64 {
+            let inst = Instance::new(
+                sleepers
+                    .iter()
+                    .copied()
+                    .chain((0..20).map(|i| Point::new(5.0 + (i % 5) as f64, 5.0 + (i / 5) as f64)))
+                    .collect(),
+            );
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            let mut members = vec![RobotId::SOURCE];
+            for (i, &sleeper_pos) in sleepers.iter().enumerate().take(k - 1) {
+                sim.move_to(*members.last().unwrap(), sleeper_pos);
+                let r = sim.wake(*members.last().unwrap(), RobotId::sleeper(i));
+                members.push(r);
+            }
+            let team = Team::new(members.clone());
+            // Gather at origin, then time the exploration itself.
+            team.move_all(&mut sim, Point::ORIGIN);
+            let t0 = team.time(&sim);
+            let rect = Rect::with_size(Point::new(2.0, 2.0), 16.0, 16.0);
+            explore(&mut sim, &team, &rect, Point::new(2.0, 2.0));
+            team.time(&sim) - t0
+        };
+        let solo = build(1);
+        let four = build(4);
+        assert!(
+            four < solo * 0.55,
+            "4 robots ({four:.1}) not ~4x faster than 1 ({solo:.1})"
+        );
+    }
+
+    #[test]
+    fn duration_respects_bound() {
+        let inst = Instance::new(vec![Point::new(50.0, 50.0)]);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let team = team_of_awake(&mut sim, &[RobotId::SOURCE]);
+        let rect = Rect::with_size(Point::ORIGIN, 12.0, 7.0);
+        let t0 = sim.time(RobotId::SOURCE);
+        explore(&mut sim, &team, &rect, Point::ORIGIN);
+        let dt = sim.time(RobotId::SOURCE) - t0;
+        let bound = explore_bound(&rect, 1, rect.dist(Point::ORIGIN) + rect.width(), rect.width());
+        assert!(dt <= bound, "explore took {dt}, bound {bound}");
+    }
+
+    #[test]
+    fn woken_robots_are_not_reported() {
+        let inst = Instance::new(vec![Point::new(1.0, 1.0), Point::new(1.2, 1.0)]);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(1.0, 1.0));
+        sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        let team = Team::new(vec![RobotId::SOURCE]);
+        let rect = Rect::with_size(Point::ORIGIN, 3.0, 3.0);
+        let seen = explore(&mut sim, &team, &rect, Point::ORIGIN);
+        let ids: Vec<RobotId> = seen.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![RobotId::sleeper(1)]);
+    }
+}

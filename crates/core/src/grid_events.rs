@@ -1,0 +1,462 @@
+//! `AGrid` as a *per-robot program* on the event-driven executor
+//! (`freezetag_sim::events`) — every robot computes its behaviour from its
+//! own clock, position, snapshots, visible lights of co-located robots,
+//! and the state handed over at its wake-up. No global orchestration.
+//!
+//! The test-suite checks this version produces the same makespan and wake
+//! set as the orchestrated [`crate::a_grid`] driver: the wave schedule is
+//! genuinely distributed — every quantity it needs (round start times,
+//! slot windows, target squares) is derivable from `ℓ`, the global clock
+//! and the robot's own square, exactly as Section 8.1 claims.
+
+use crate::grid::{round_start, slot_duration};
+use crate::AGridConfig;
+use freezetag_central::{quadtree_wake_tree, NodeId, WakeTree};
+use freezetag_geometry::{sweep, CellCoord, Point, Square, SquareTiling};
+use freezetag_sim::events::{Action, EventSim, RobotProgram, StepContext};
+use freezetag_sim::{RobotId, WorldView};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Immutable parameters shared by every robot (handed over on wake-up,
+/// like the paper's variable exchange).
+#[derive(Debug, Clone, Copy)]
+struct GridCfg {
+    r: f64,
+    src: Point,
+}
+
+impl GridCfg {
+    fn tiling(&self) -> SquareTiling {
+        SquareTiling::new(self.r)
+    }
+
+    fn cell_of(&self, p: Point) -> CellCoord {
+        self.tiling().cell_of(p - self.src)
+    }
+
+    fn square_of(&self, c: CellCoord) -> Square {
+        let s = self.tiling().square_of(c);
+        Square::new(s.center() + self.src, s.width())
+    }
+
+    /// Meeting point of a square: its lower-left corner, nudged inside by
+    /// a hair so it cannot coincide with a robot's initial position (which
+    /// would confuse the light-based head-count).
+    fn gather_point(&self, c: CellCoord) -> Point {
+        let inset = self.r * 1e-7;
+        self.square_of(c).min_corner() + Point::new(inset, inset)
+    }
+
+    fn slot_start(&self, round: usize, slot: usize) -> f64 {
+        round_start(self.r, round) + slot as f64 * slot_duration(self.r)
+    }
+
+    fn light_code(round: usize, slot: usize) -> u64 {
+        (round * 8 + slot + 1) as u64
+    }
+}
+
+/// Where control goes after a wake-tree realization finishes.
+#[derive(Debug, Clone, Copy)]
+enum Cont {
+    JoinWave,
+    NextSlot { round: usize, slot: usize },
+}
+
+enum Phase {
+    /// Source at t = 0: start the round-0 sweep of its own square.
+    SourceStart,
+    /// First step of a robot woken at tree `node`: take the first-child
+    /// subtree (Algorithm 1) then join the wave.
+    WokenInit { tree: Rc<WakeTree>, node: NodeId },
+    /// Boustrophedon sweep of `target`'s square.
+    Sweep {
+        round: usize,
+        slot: usize,
+        target: CellCoord,
+        snaps: Vec<Point>,
+        idx: usize,
+        collected: BTreeMap<RobotId, Point>,
+        state: SweepState,
+        cont: Cont,
+    },
+    /// Moving towards tree `node`; next step wakes it.
+    RealizeArrive { tree: Rc<WakeTree>, node: NodeId, cont: Cont },
+    /// Wake of `node` just happened; dispatch children.
+    RealizePostWake { tree: Rc<WakeTree>, node: NodeId, cont: Cont },
+    /// Travelling to / waiting at a slot gather point.
+    Gather { round: usize, slot: usize, stage: GatherStage },
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SweepState {
+    Moving,
+    Looking,
+    ToCenter,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GatherStage {
+    Moving,
+    Lighting,
+    Waiting,
+}
+
+/// One robot's `AGrid` behaviour.
+pub struct AGridRobot {
+    cfg: GridCfg,
+    phase: Phase,
+}
+
+impl AGridRobot {
+    fn source(cfg: GridCfg) -> Self {
+        AGridRobot {
+            cfg,
+            phase: Phase::SourceStart,
+        }
+    }
+
+    fn woken(cfg: GridCfg, tree: Rc<WakeTree>, node: NodeId) -> Box<dyn RobotProgram> {
+        Box::new(AGridRobot {
+            cfg,
+            phase: Phase::WokenInit { tree, node },
+        })
+    }
+
+    fn start_sweep(&mut self, round: usize, slot: usize, target: CellCoord, cont: Cont) -> Action {
+        let square = self.cfg.square_of(target);
+        let snaps = sweep::snapshot_positions(&square.to_rect());
+        let first = snaps[0];
+        self.phase = Phase::Sweep {
+            round,
+            slot,
+            target,
+            snaps,
+            idx: 0,
+            collected: BTreeMap::new(),
+            state: SweepState::Moving,
+            cont,
+        };
+        Action::MoveTo(first)
+    }
+
+    fn realize_enter(&mut self, tree: Rc<WakeTree>, node: NodeId, cont: Cont) -> Action {
+        let pos = tree.pos(node);
+        self.phase = Phase::RealizeArrive { tree, node, cont };
+        Action::MoveTo(pos)
+    }
+
+    fn continue_with(&mut self, cont: Cont, ctx: &StepContext<'_>) -> Action {
+        match cont {
+            Cont::JoinWave => self.join_wave(ctx),
+            Cont::NextSlot { round, slot } => self.next_slot(round, slot, ctx),
+        }
+    }
+
+    fn join_wave(&mut self, ctx: &StepContext<'_>) -> Action {
+        // Target round: first wave round starting at or after now. The
+        // slot-margin analysis guarantees it is reachable in time.
+        let mut round = 1;
+        while round_start(self.cfg.r, round) < ctx.now {
+            round += 1;
+            assert!(round < 1_000_000, "wave round overflow");
+        }
+        let cell = self.cfg.cell_of(ctx.pos);
+        let target = self.cfg.tiling().neighbors8(cell)[0];
+        self.phase = Phase::Gather {
+            round,
+            slot: 0,
+            stage: GatherStage::Moving,
+        };
+        Action::MoveTo(self.cfg.gather_point(target))
+    }
+
+    /// Advance the explorer past slot `slot`: it currently stands inside
+    /// the slot's target square, so its own cell is the slot-th inverse
+    /// translation of where it is.
+    fn next_slot(&mut self, round: usize, slot: usize, ctx: &StepContext<'_>) -> Action {
+        if slot + 1 >= 8 {
+            self.phase = Phase::Done;
+            return Action::Halt;
+        }
+        let target = self.cfg.cell_of(ctx.pos);
+        let (di, dj) = DIRS[slot];
+        let own = CellCoord::new(target.i - di, target.j - dj);
+        let next_target = self.cfg.tiling().neighbors8(own)[slot + 1];
+        self.phase = Phase::Gather {
+            round,
+            slot: slot + 1,
+            stage: GatherStage::Moving,
+        };
+        Action::MoveTo(self.cfg.gather_point(next_target))
+    }
+}
+
+/// The 8 neighbour offsets in the order of `SquareTiling::neighbors8`.
+const DIRS: [(i64, i64); 8] = [
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+];
+
+impl AGridRobot {
+    /// Own cell given that we currently sit at the gather point of our
+    /// slot-`slot` target.
+    fn own_cell_from_gather(&self, pos: Point, slot: usize) -> CellCoord {
+        let target = self.cfg.cell_of(pos);
+        let (di, dj) = DIRS[slot];
+        CellCoord::new(target.i - di, target.j - dj)
+    }
+}
+
+impl RobotProgram for AGridRobot {
+    fn step(&mut self, ctx: &StepContext<'_>) -> Action {
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::SourceStart => {
+                let home = self.cfg.cell_of(ctx.pos);
+                self.start_sweep(0, 0, home, Cont::JoinWave)
+            }
+            Phase::WokenInit { tree, node } => match *tree.children(node) {
+                [] => self.join_wave(ctx),
+                [c1, ..] => self.realize_enter(tree, c1, Cont::JoinWave),
+            },
+            Phase::Sweep {
+                round,
+                slot,
+                target,
+                snaps,
+                mut idx,
+                mut collected,
+                state,
+                cont,
+            } => match state {
+                SweepState::Moving => {
+                    self.phase = Phase::Sweep {
+                        round,
+                        slot,
+                        target,
+                        snaps,
+                        idx,
+                        collected,
+                        state: SweepState::Looking,
+                        cont,
+                    };
+                    Action::Look
+                }
+                SweepState::Looking => {
+                    for s in ctx.sightings.expect("look just completed") {
+                        collected.insert(s.id, s.pos);
+                    }
+                    idx += 1;
+                    if idx < snaps.len() {
+                        let next = snaps[idx];
+                        self.phase = Phase::Sweep {
+                            round,
+                            slot,
+                            target,
+                            snaps,
+                            idx,
+                            collected,
+                            state: SweepState::Moving,
+                            cont,
+                        };
+                        Action::MoveTo(next)
+                    } else {
+                        let center = self.cfg.square_of(target).center();
+                        self.phase = Phase::Sweep {
+                            round,
+                            slot,
+                            target,
+                            snaps,
+                            idx,
+                            collected,
+                            state: SweepState::ToCenter,
+                            cont,
+                        };
+                        Action::MoveTo(center)
+                    }
+                }
+                SweepState::ToCenter => {
+                    // Arrived at the centre: compute the wake tree over the
+                    // sleepers owned by the target square (Corollary 1).
+                    let items: Vec<(RobotId, Point)> = collected
+                        .into_iter()
+                        .filter(|&(_, p)| self.cfg.cell_of(p) == target)
+                        .collect();
+                    let tree = Rc::new(quadtree_wake_tree(ctx.pos, &items));
+                    match tree.children(WakeTree::ROOT).first().copied() {
+                        Some(child) => self.realize_enter(tree, child, cont),
+                        None => self.continue_with(cont, ctx),
+                    }
+                }
+            },
+            Phase::RealizeArrive { tree, node, cont } => {
+                let target = tree.robot(node);
+                let program = AGridRobot::woken(self.cfg, Rc::clone(&tree), node);
+                self.phase = Phase::RealizePostWake { tree, node, cont };
+                Action::Wake { target, program }
+            }
+            Phase::RealizePostWake { tree, node, cont } => match *tree.children(node) {
+                [] | [_] => self.continue_with(cont, ctx),
+                [_, c2] => self.realize_enter(tree, c2, cont),
+                _ => unreachable!("WakeTree enforces binary arity"),
+            },
+            Phase::Gather { round, slot, stage } => match stage {
+                GatherStage::Moving => {
+                    self.phase = Phase::Gather {
+                        round,
+                        slot,
+                        stage: GatherStage::Lighting,
+                    };
+                    Action::SetLight(GridCfg::light_code(round, slot))
+                }
+                GatherStage::Lighting => {
+                    let start = self.cfg.slot_start(round, slot);
+                    debug_assert!(
+                        ctx.now <= start + 1e-6,
+                        "robot {} missed slot {slot} of round {round}",
+                        ctx.id
+                    );
+                    self.phase = Phase::Gather {
+                        round,
+                        slot,
+                        stage: GatherStage::Waiting,
+                    };
+                    Action::WaitUntil(start)
+                }
+                GatherStage::Waiting => {
+                    // Head-count among co-located robots showing this
+                    // slot's light; deterministic designation by sorted id.
+                    let code = GridCfg::light_code(round, slot);
+                    let mut participants: Vec<RobotId> = ctx
+                        .colocated
+                        .iter()
+                        .filter(|&&(_, l)| l == code)
+                        .map(|&(id, _)| id)
+                        .collect();
+                    participants.push(ctx.id);
+                    participants.sort_unstable();
+                    let explorer = participants[slot % participants.len()];
+                    let own = self.own_cell_from_gather(ctx.pos, slot);
+                    if explorer == ctx.id {
+                        let target = self.cfg.cell_of(ctx.pos);
+                        self.start_sweep(round, slot, target, Cont::NextSlot { round, slot })
+                    } else if slot + 1 >= 8 {
+                        self.phase = Phase::Done;
+                        Action::Halt
+                    } else {
+                        let next_target = self.cfg.tiling().neighbors8(own)[slot + 1];
+                        self.phase = Phase::Gather {
+                            round,
+                            slot: slot + 1,
+                            stage: GatherStage::Moving,
+                        };
+                        Action::MoveTo(self.cfg.gather_point(next_target))
+                    }
+                }
+            },
+            Phase::Done => Action::Halt,
+        }
+    }
+}
+
+/// Runs the event-driven `AGrid`: every robot an autonomous program.
+/// Returns the finished engine (world + schedule inside).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_core::{a_grid_events, AGridConfig};
+/// use freezetag_instances::generators::grid_lattice;
+/// use freezetag_sim::{ConcreteWorld, WorldView};
+///
+/// let inst = grid_lattice(3, 4, 1.0);
+/// let sim = a_grid_events(ConcreteWorld::new(&inst), &AGridConfig { ell: 1.0 });
+/// assert!(sim.world().all_awake());
+/// ```
+pub fn a_grid_events<W: WorldView>(world: W, cfg: &AGridConfig) -> EventSim<W> {
+    assert!(cfg.ell > 0.0 && cfg.ell.is_finite(), "ell must be positive");
+    let src = world.source_pos();
+    let grid_cfg = GridCfg {
+        r: 2.0 * cfg.ell,
+        src,
+    };
+    let mut sim = EventSim::new(world);
+    sim.run(Box::new(AGridRobot::source(grid_cfg)));
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a_grid;
+    use freezetag_instances::generators::{grid_lattice, snake, uniform_disk};
+    use freezetag_instances::Instance;
+    use freezetag_sim::{validate, ConcreteWorld, Sim, ValidationOptions};
+
+    fn compare(inst: &Instance, ell: f64) {
+        // Orchestrated driver.
+        let mut driver = Sim::new(ConcreteWorld::new(inst));
+        a_grid(&mut driver, &AGridConfig { ell });
+        assert!(driver.world().all_awake(), "driver left robots asleep");
+        let (_, driver_schedule, _) = driver.into_parts();
+
+        // Event-driven programs.
+        let events = a_grid_events(ConcreteWorld::new(inst), &AGridConfig { ell });
+        assert!(events.world().all_awake(), "events left robots asleep");
+        let (_, event_schedule) = events.into_parts();
+
+        // Same coverage and (up to the gather-point inset) same makespan.
+        assert_eq!(
+            driver_schedule.wakes().len(),
+            event_schedule.wakes().len(),
+            "wake counts differ"
+        );
+        let d = driver_schedule.makespan();
+        let e = event_schedule.makespan();
+        assert!(
+            (d - e).abs() <= 1e-2 * d.max(1.0),
+            "makespans diverge: driver {d}, events {e}"
+        );
+        // The event schedule independently validates.
+        validate(
+            &event_schedule,
+            inst.source(),
+            inst.positions(),
+            &ValidationOptions::default(),
+        )
+        .expect("event schedule validates");
+    }
+
+    #[test]
+    fn matches_driver_on_lattice() {
+        compare(&grid_lattice(4, 5, 1.2), 1.2);
+    }
+
+    #[test]
+    fn matches_driver_on_uniform_disk() {
+        let inst = uniform_disk(40, 9.0, 8);
+        let ell = inst.admissible_tuple().ell;
+        compare(&inst, ell);
+    }
+
+    #[test]
+    fn matches_driver_on_snake() {
+        let inst = snake(3, 14.0, 2.0, 1.0);
+        let ell = inst.admissible_tuple().ell;
+        compare(&inst, ell);
+    }
+
+    #[test]
+    fn single_far_neighbor() {
+        let inst = Instance::new(vec![Point::new(2.5, 0.1)]);
+        compare(&inst, 2.0);
+    }
+}

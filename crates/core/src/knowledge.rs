@@ -1,0 +1,160 @@
+use freezetag_geometry::Point;
+use freezetag_sim::RobotId;
+use std::collections::BTreeMap;
+
+/// What a team knows about an individual robot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RobotInfo {
+    /// Initial position (robots identify themselves by it — Section 1.2).
+    pub origin: Point,
+    /// Whether the team knows the robot to be awake.
+    pub awake: bool,
+}
+
+/// Shared team memory: every robot ever observed (by a `look`) or woken,
+/// keyed by id with deterministic iteration order.
+///
+/// The paper's teams exchange variables when co-located; the algorithms in
+/// this crate merge `Knowledge` values exactly at those rendezvous.
+/// Soundness property: `Knowledge` only ever contains robots that some
+/// `look` has returned or that the algorithm woke itself — never
+/// undiscovered positions.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Knowledge {
+    robots: BTreeMap<RobotId, RobotInfo>,
+}
+
+#[cfg_attr(not(test), allow(dead_code))]
+impl Knowledge {
+    /// Empty knowledge.
+    pub fn new() -> Self {
+        Knowledge::default()
+    }
+
+    /// Records a sleeping sighting at its initial position.
+    pub fn note_sighting(&mut self, id: RobotId, pos: Point) {
+        self.robots
+            .entry(id)
+            .or_insert(RobotInfo {
+                origin: pos,
+                awake: false,
+            })
+            .origin = pos;
+    }
+
+    /// Records that a robot (with the given origin) is awake.
+    pub fn note_awake(&mut self, id: RobotId, origin: Point) {
+        let info = self.robots.entry(id).or_insert(RobotInfo {
+            origin,
+            awake: true,
+        });
+        info.awake = true;
+    }
+
+    /// Lookup.
+    pub fn get(&self, id: RobotId) -> Option<&RobotInfo> {
+        self.robots.get(&id)
+    }
+
+    /// Whether the team knows this robot to be awake.
+    pub fn is_awake(&self, id: RobotId) -> bool {
+        self.robots.get(&id).is_some_and(|i| i.awake)
+    }
+
+    /// All known robots, ordered by id.
+    pub fn iter(&self) -> impl Iterator<Item = (RobotId, &RobotInfo)> {
+        self.robots.iter().map(|(&id, info)| (id, info))
+    }
+
+    /// Known *sleeping* robots whose origin satisfies `filter`.
+    pub fn asleep_where<'a, F: Fn(Point) -> bool + 'a>(
+        &'a self,
+        filter: F,
+    ) -> impl Iterator<Item = (RobotId, Point)> + 'a {
+        self.robots
+            .iter()
+            .filter(move |(_, i)| !i.awake && filter(i.origin))
+            .map(|(&id, i)| (id, i.origin))
+    }
+
+    /// Known robots (any status) whose origin satisfies `filter`.
+    pub fn known_where<'a, F: Fn(Point) -> bool + 'a>(
+        &'a self,
+        filter: F,
+    ) -> impl Iterator<Item = (RobotId, RobotInfo)> + 'a {
+        self.robots
+            .iter()
+            .filter(move |(_, i)| filter(i.origin))
+            .map(|(&id, &i)| (id, i))
+    }
+
+    /// Merges another team's knowledge (awake status is sticky).
+    pub fn merge(&mut self, other: &Knowledge) {
+        for (&id, &info) in &other.robots {
+            let e = self.robots.entry(id).or_insert(info);
+            e.awake |= info.awake;
+        }
+    }
+
+    /// Number of known robots.
+    pub fn len(&self) -> usize {
+        self.robots.len()
+    }
+
+    /// Whether nothing is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.robots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sightings_then_wake() {
+        let mut k = Knowledge::new();
+        k.note_sighting(RobotId::sleeper(0), Point::new(1.0, 0.0));
+        assert!(!k.is_awake(RobotId::sleeper(0)));
+        k.note_awake(RobotId::sleeper(0), Point::new(1.0, 0.0));
+        assert!(k.is_awake(RobotId::sleeper(0)));
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn filters_by_region() {
+        let mut k = Knowledge::new();
+        k.note_sighting(RobotId::sleeper(0), Point::new(1.0, 0.0));
+        k.note_sighting(RobotId::sleeper(1), Point::new(10.0, 0.0));
+        k.note_awake(RobotId::sleeper(2), Point::new(2.0, 0.0));
+        let near: Vec<_> = k.asleep_where(|p| p.x < 5.0).collect();
+        assert_eq!(near, vec![(RobotId::sleeper(0), Point::new(1.0, 0.0))]);
+        let known: Vec<_> = k.known_where(|p| p.x < 5.0).collect();
+        assert_eq!(known.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_sticky_on_awake() {
+        let mut a = Knowledge::new();
+        a.note_sighting(RobotId::sleeper(0), Point::new(1.0, 0.0));
+        let mut b = Knowledge::new();
+        b.note_awake(RobotId::sleeper(0), Point::new(1.0, 0.0));
+        b.note_sighting(RobotId::sleeper(1), Point::new(2.0, 0.0));
+        a.merge(&b);
+        assert!(a.is_awake(RobotId::sleeper(0)));
+        assert_eq!(a.len(), 2);
+        // Merging the stale view back does not un-wake.
+        let mut stale = Knowledge::new();
+        stale.note_sighting(RobotId::sleeper(0), Point::new(1.0, 0.0));
+        a.merge(&stale);
+        assert!(a.is_awake(RobotId::sleeper(0)));
+    }
+
+    #[test]
+    fn empty_knowledge() {
+        let k = Knowledge::new();
+        assert!(k.is_empty());
+        assert_eq!(k.iter().count(), 0);
+        assert!(k.get(RobotId::SOURCE).is_none());
+    }
+}

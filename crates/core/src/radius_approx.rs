@@ -1,0 +1,167 @@
+//! Constant-factor approximation of the radius `ρ*` knowing only `ℓ`
+//! (the Section 5 discussion): build a team of `4ℓ` robots with
+//! `DFSampling`, then explore the ℓ-separators of squares of doubling
+//! width `ℓ·2^i` until one comes back empty — at that point every robot
+//! lies inside the last square, and its width is a constant-factor
+//! estimate of `ρ*`. Total overhead `O(ℓ² log ℓ + ρ)`.
+
+use crate::explore::explore;
+use crate::knowledge::Knowledge;
+use crate::sampling::df_sampling;
+use crate::team::Team;
+use freezetag_geometry::Square;
+use freezetag_sim::{RobotId, Sim, WorldView};
+
+/// Result of [`estimate_radius`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadiusEstimate {
+    /// The estimate `ρ̂` — within a constant factor of `ρ*` (see the
+    /// integration tests for the empirically asserted window).
+    pub rho_hat: f64,
+    /// Simulated time the estimation took (the Section 5 overhead).
+    pub duration: f64,
+    /// Whether the estimate is exact: the initial sampling already covered
+    /// the whole swarm, so `ρ̂` is the true maximum origin distance.
+    pub exact: bool,
+}
+
+/// Estimates `ρ*` from the source given only `ℓ ≥ ℓ*`.
+///
+/// # Panics
+///
+/// Panics if `ell <= 0`, or if the doubling search exceeds width `2^40·ℓ`
+/// (instance radii beyond any practical experiment, indicating a
+/// disconnected input).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_core::estimate_radius;
+/// use freezetag_instances::generators::uniform_disk;
+/// use freezetag_sim::{ConcreteWorld, Sim};
+///
+/// let inst = uniform_disk(40, 10.0, 5);
+/// let tuple = inst.admissible_tuple();
+/// let mut sim = Sim::new(ConcreteWorld::new(&inst));
+/// let est = estimate_radius(&mut sim, tuple.ell);
+/// let rho_star = inst.params(None).rho_star;
+/// assert!(est.rho_hat >= rho_star / 2.0);
+/// ```
+pub fn estimate_radius<W: WorldView>(sim: &mut Sim<W>, ell: f64) -> RadiusEstimate {
+    assert!(ell > 0.0 && ell.is_finite(), "ell must be positive");
+    let src = sim.world().source_pos();
+    let t_start = sim.time(RobotId::SOURCE);
+    let mut team = Team::new(vec![RobotId::SOURCE]);
+    let mut knowledge = Knowledge::new();
+    knowledge.note_awake(RobotId::SOURCE, src);
+    let target = ((4.0 * ell).ceil() as usize).max(4);
+
+    // Step 1: recruit a team of 4ℓ (region unbounded — the DFS is confined
+    // by connectivity anyway).
+    let huge = Square::new(src, 2.0_f64.powi(41) * ell);
+    let out = df_sampling(
+        sim,
+        &mut team,
+        &mut knowledge,
+        huge,
+        &[src],
+        |_| true,
+        ell,
+        target,
+    );
+    if out.covered {
+        // The whole swarm is discovered: ρ* is read off the origins.
+        let rho_hat = knowledge
+            .iter()
+            .map(|(_, info)| info.origin.dist(src))
+            .fold(0.0, f64::max);
+        return RadiusEstimate {
+            rho_hat: rho_hat.max(ell),
+            duration: team.time(sim) - t_start,
+            exact: true,
+        };
+    }
+
+    // Step 2: doubling separator sweeps until an empty ring.
+    for i in 1..=40 {
+        let width = ell * 2.0_f64.powi(i);
+        let sq = Square::new(src, width);
+        let sep = sq.separator(ell);
+        let mut found = knowledge
+            .known_where(|p| sep.contains(p))
+            .next()
+            .is_some();
+        if !found {
+            for rect in sep.rectangles() {
+                let sightings = explore(sim, &team, &rect, rect.min());
+                for s in sightings {
+                    knowledge.note_sighting(s.id, s.pos);
+                    if sep.contains(s.pos) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        if !found {
+            return RadiusEstimate {
+                rho_hat: width,
+                duration: team.time(sim) - t_start,
+                exact: false,
+            };
+        }
+    }
+    panic!("doubling search exceeded width 2^40·ell — disconnected instance?");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezetag_instances::generators::{snake, uniform_disk};
+    use freezetag_sim::ConcreteWorld;
+
+    #[test]
+    fn estimate_brackets_true_radius() {
+        for (inst, label) in [
+            (uniform_disk(60, 12.0, 2), "disk"),
+            (snake(3, 30.0, 2.0, 1.0), "snake"),
+        ] {
+            let tuple = inst.admissible_tuple();
+            let rho_star = inst.params(None).rho_star;
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            let est = estimate_radius(&mut sim, tuple.ell);
+            // Never underestimates below the hole containment, never
+            // overestimates beyond the doubling factor.
+            assert!(
+                est.rho_hat >= rho_star / 1.0_f64.max(std::f64::consts::SQRT_2),
+                "{label}: rho_hat {} too small vs rho* {rho_star}",
+                est.rho_hat
+            );
+            assert!(
+                est.rho_hat <= 4.0 * rho_star + 4.0 * tuple.ell,
+                "{label}: rho_hat {} too large vs rho* {rho_star}",
+                est.rho_hat
+            );
+        }
+    }
+
+    #[test]
+    fn covered_swarm_is_exact() {
+        // Tiny swarm: sampling covers everything, estimate is exact.
+        let inst = uniform_disk(5, 2.0, 9);
+        let tuple = inst.admissible_tuple();
+        let rho_star = inst.params(None).rho_star;
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let est = estimate_radius(&mut sim, tuple.ell);
+        assert!(est.exact);
+        assert!((est.rho_hat - rho_star.max(tuple.ell)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_recorded() {
+        let inst = uniform_disk(30, 8.0, 4);
+        let tuple = inst.admissible_tuple();
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        let est = estimate_radius(&mut sim, tuple.ell);
+        assert!(est.duration > 0.0);
+    }
+}

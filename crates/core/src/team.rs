@@ -1,0 +1,162 @@
+use freezetag_sim::{RobotId, Sim, WorldView};
+
+/// A team: an ordered set of awake robots that move together, stay
+/// co-located and time-synchronized between operations.
+///
+/// All of `ASeparator`'s phases operate on teams (Section 3); the invariant
+/// maintained by every public operation is that after it returns, all
+/// members share the same position and local time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Team {
+    members: Vec<RobotId>,
+}
+
+impl Team {
+    /// A team from its member list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty member list.
+    pub fn new(members: Vec<RobotId>) -> Self {
+        assert!(!members.is_empty(), "a team needs at least one member");
+        Team { members }
+    }
+
+    /// The designated leader (first member) — performs wakes and
+    /// centralized computations on behalf of the team.
+    pub fn lead(&self) -> RobotId {
+        self.members[0]
+    }
+
+    /// Members in order.
+    pub fn members(&self) -> &[RobotId] {
+        &self.members
+    }
+
+    /// Team size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Adds a freshly-woken recruit (must already be co-located and
+    /// synchronized by the caller).
+    pub fn push(&mut self, r: RobotId) {
+        self.members.push(r);
+    }
+
+    /// Current common position (the leader's).
+    pub fn pos<W: WorldView>(&self, sim: &Sim<W>) -> freezetag_geometry::Point {
+        sim.pos(self.lead())
+    }
+
+    /// Current common time (max over members; equals each member's time
+    /// when the sync invariant holds).
+    pub fn time<W: WorldView>(&self, sim: &Sim<W>) -> f64 {
+        self.members
+            .iter()
+            .map(|&r| sim.time(r))
+            .fold(0.0, f64::max)
+    }
+
+    /// Moves every member to `dest` and synchronizes; returns the common
+    /// arrival time.
+    pub fn move_all<W: WorldView>(
+        &self,
+        sim: &mut Sim<W>,
+        dest: freezetag_geometry::Point,
+    ) -> f64 {
+        for &r in &self.members {
+            sim.move_to(r, dest);
+        }
+        sim.barrier(&self.members)
+    }
+
+    /// Synchronizes members at their common latest time (they must already
+    /// be co-located).
+    pub fn sync<W: WorldView>(&self, sim: &mut Sim<W>) -> f64 {
+        sim.barrier(&self.members)
+    }
+
+    /// Splits the team into `k` non-empty sub-teams of near-equal size, in
+    /// member order. When the team has fewer than `k` members, returns
+    /// fewer (but at least one) sub-teams.
+    pub fn split(&self, k: usize) -> Vec<Team> {
+        assert!(k > 0, "cannot split into zero sub-teams");
+        let k = k.min(self.members.len());
+        let base = self.members.len() / k;
+        let extra = self.members.len() % k;
+        let mut out = Vec::with_capacity(k);
+        let mut idx = 0;
+        for i in 0..k {
+            let size = base + usize::from(i < extra);
+            out.push(Team::new(self.members[idx..idx + size].to_vec()));
+            idx += size;
+        }
+        out
+    }
+
+    /// Merges several co-located teams into one (caller must have
+    /// synchronized them, e.g. with a barrier at a meeting point).
+    pub fn merge(teams: Vec<Team>) -> Team {
+        let members: Vec<RobotId> = teams.into_iter().flat_map(|t| t.members).collect();
+        Team::new(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezetag_geometry::Point;
+    use freezetag_instances::Instance;
+    use freezetag_sim::ConcreteWorld;
+
+    fn three_robot_sim() -> (Sim<ConcreteWorld>, Team) {
+        let inst = Instance::new(vec![Point::new(0.5, 0.0), Point::new(0.8, 0.0)]);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(0.5, 0.0));
+        let a = sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        sim.move_to(RobotId::SOURCE, Point::new(0.8, 0.0));
+        sim.move_to(a, Point::new(0.8, 0.0));
+        sim.barrier(&[RobotId::SOURCE, a]);
+        let b = sim.wake(RobotId::SOURCE, RobotId::sleeper(1));
+        let team = Team::new(vec![RobotId::SOURCE, a, b]);
+        team.sync(&mut sim);
+        (sim, team)
+    }
+
+    #[test]
+    fn move_all_keeps_colocation_and_sync() {
+        let (mut sim, team) = three_robot_sim();
+        let t = team.move_all(&mut sim, Point::new(5.0, 5.0));
+        for &r in team.members() {
+            assert_eq!(sim.pos(r), Point::new(5.0, 5.0));
+            assert!((sim.time(r) - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_sizes_are_balanced() {
+        let t = Team::new((0..10).map(RobotId::from_index).collect());
+        let parts = t.split(4);
+        let sizes: Vec<usize> = parts.iter().map(Team::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Small teams produce fewer parts, never empty ones.
+        let small = Team::new(vec![RobotId::SOURCE]);
+        assert_eq!(small.split(4).len(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let a = Team::new(vec![RobotId::from_index(0), RobotId::from_index(1)]);
+        let b = Team::new(vec![RobotId::from_index(2)]);
+        let m = Team::merge(vec![a, b]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.lead(), RobotId::from_index(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_team_panics() {
+        let _ = Team::new(vec![]);
+    }
+}

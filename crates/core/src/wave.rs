@@ -1,0 +1,258 @@
+//! `AWave` — the energy-frugal, near-optimal-makespan algorithm of
+//! Section 4 / 8.2: energy budget `O(ℓ² log ℓ)` per robot, makespan
+//! `O(ξ_ℓ + ℓ² log(ξ_ℓ/ℓ))` (Theorem 5).
+//!
+//! Same wave structure as `AGrid` but with squares of width
+//! `R = 8ℓ² log₂ ℓ` (with `ℓ := max(ℓ, 4)`) and `ASeparator` as the
+//! per-square wake-up procedure: round 0 runs `ASeparator` from the source
+//! inside its square; in round `k`, robots woken in round `k−1` gather at
+//! their square's lower-left corner, and every team of at least `4ℓ`
+//! robots sweeps the 8 adjacent squares in fixed slots, waking each with
+//! `ASeparator` started directly at its partitioning rounds.
+
+use crate::knowledge::Knowledge;
+use crate::separator::{wake_square_with_team, Region, SeparatorParams};
+use crate::team::Team;
+use freezetag_geometry::{CellCoord, Point, Square, SquareTiling};
+use freezetag_sim::{RobotId, Sim, WorldView};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Configuration of an `AWave` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AWaveConfig {
+    /// Upper bound ℓ on the connectivity threshold.
+    pub ell: f64,
+}
+
+/// Effective ℓ (the paper sets `ℓ ← max(ℓ, 4)` so `log₂ ℓ ≥ 2`).
+pub(crate) fn effective_ell(ell: f64) -> f64 {
+    ell.max(4.0)
+}
+
+/// Wave-square width `R = 8ℓ² log₂ ℓ`.
+pub(crate) fn wave_width(ell: f64) -> f64 {
+    let l = effective_ell(ell);
+    8.0 * l * l * l.log2()
+}
+
+/// Upper bound on an `ASeparator` run confined to a square of width `r`
+/// with connectivity parameter ℓ (Theorem 1's `O(R + ℓ² log(R/ℓ))` with
+/// generous explicit constants, checked by runtime assertions).
+pub(crate) fn separator_bound(r: f64, ell: f64) -> f64 {
+    let rounds = (r / ell).max(2.0).log2() + 2.0;
+    30.0 * r + 60.0 * ell * ell * rounds + 100.0
+}
+
+/// Duration of one wave slot.
+pub(crate) fn wave_slot(r: f64, ell: f64) -> f64 {
+    separator_bound(r, ell) + 4.5 * r
+}
+
+/// Runs `AWave` to completion (wakes every robot, given `ℓ ≥ ℓ*`).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_core::{a_wave, AWaveConfig};
+/// use freezetag_instances::generators::grid_lattice;
+/// use freezetag_sim::{ConcreteWorld, Sim, WorldView};
+///
+/// let inst = grid_lattice(3, 5, 1.0);
+/// let mut sim = Sim::new(ConcreteWorld::new(&inst));
+/// a_wave(&mut sim, &AWaveConfig { ell: 1.0 });
+/// assert!(sim.world().all_awake());
+/// ```
+pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
+    assert!(cfg.ell > 0.0 && cfg.ell.is_finite(), "ell must be positive");
+    let ell = effective_ell(cfg.ell);
+    let r = wave_width(cfg.ell);
+    let src = sim.world().source_pos();
+    let tiling = SquareTiling::new(r);
+    let cell_of = move |p: Point| tiling.cell_of(p - src);
+    let square_of = move |c: CellCoord| {
+        let s = tiling.square_of(c);
+        Square::new(s.center() + src, s.width())
+    };
+    // The wave's slot schedule relies on the O(R) guarantee of the
+    // quadtree strategy (Lemma 2); alternative strategies are only
+    // ablatable in the unconstrained ASeparator.
+    let params = SeparatorParams {
+        ell,
+        target: ((4.0 * ell).ceil() as usize).max(4),
+        strategy: freezetag_central::WakeStrategy::Quadtree,
+    };
+    let mut knowledge = Knowledge::new();
+    knowledge.note_awake(RobotId::SOURCE, src);
+
+    // Round 0: ASeparator inside the source's square.
+    let home = cell_of(src);
+    let own0 = region_of_cell(cell_of, home);
+    wake_square_with_team(
+        sim,
+        Team::new(vec![RobotId::SOURCE]),
+        &mut knowledge,
+        square_of(home),
+        own0,
+        params,
+        0,
+    );
+    let t0_bound = separator_bound(r, ell);
+    let wakes_so_far = sim.schedule().wakes().len();
+    let mut frontier: Vec<RobotId> = sim
+        .schedule()
+        .wakes()
+        .iter()
+        .map(|w| w.target)
+        .collect();
+    frontier.push(RobotId::SOURCE);
+    let t_round0_end = sim.time(RobotId::SOURCE);
+    sim.trace_mut().record(
+        "wave/round0",
+        0.0,
+        t_round0_end,
+        format!("woke={wakes_so_far} R={r:.0}"),
+    );
+    assert!(
+        sim.time(RobotId::SOURCE) <= t0_bound + 1e-6,
+        "wave round 0 exceeded its bound"
+    );
+
+    let slot = wave_slot(r, ell);
+    let mut round_start = t0_bound + 4.5 * r;
+    let mut round = 1usize;
+    let mut prev_wake_len = sim.schedule().wakes().len();
+    while !frontier.is_empty() {
+        // Teams form at the lower-left corner of each populated square.
+        let mut groups: BTreeMap<CellCoord, Vec<RobotId>> = BTreeMap::new();
+        for &rb in &frontier {
+            groups.entry(cell_of(sim.pos(rb))).or_default().push(rb);
+        }
+        // Only teams of at least 4ℓ act (Theorem 5's progress argument
+        // guarantees the most populated square has that many).
+        let mut teams: BTreeMap<CellCoord, Team> = BTreeMap::new();
+        for (cell, robots) in groups {
+            if robots.len() >= params.target {
+                let team = Team::new(robots);
+                team.move_all(sim, square_of(cell).min_corner());
+                teams.insert(cell, team);
+            }
+        }
+        if teams.is_empty() {
+            break;
+        }
+        for slot_idx in 0..8 {
+            let slot_start = round_start + slot_idx as f64 * slot;
+            for (cell, team) in &teams {
+                let target_cell = tiling.neighbors8(*cell)[slot_idx];
+                let target_sq = square_of(target_cell);
+                team.move_all(sim, target_sq.min_corner());
+                assert!(
+                    team.time(sim) <= slot_start + 1e-6,
+                    "wave team missed slot {slot_idx} of round {round}"
+                );
+                for &rb in team.members() {
+                    sim.wait_until(rb, slot_start);
+                }
+                let own = region_of_cell(cell_of, target_cell);
+                wake_square_with_team(
+                    sim,
+                    team.clone(),
+                    &mut knowledge,
+                    target_sq,
+                    own,
+                    params,
+                    round,
+                );
+                // The team re-gathers at the target's corner for the next
+                // hop (members may have dispersed during the wake-up).
+                team.move_all(sim, target_sq.min_corner());
+                assert!(
+                    team.time(sim) <= slot_start + slot + 1e-6,
+                    "wave slot {slot_idx} of round {round} overran"
+                );
+            }
+        }
+        let all_wakes = sim.schedule().wakes();
+        frontier = all_wakes[prev_wake_len..].iter().map(|w| w.target).collect();
+        prev_wake_len = all_wakes.len();
+        sim.trace_mut().record(
+            format!("wave/round{round}"),
+            round_start,
+            round_start + 8.0 * slot,
+            format!("teams={} woke={}", teams.len(), frontier.len()),
+        );
+        round_start += 8.0 * slot + 4.5 * r;
+        round += 1;
+    }
+}
+
+fn region_of_cell<C: Fn(Point) -> CellCoord + 'static>(cell_of: C, cell: CellCoord) -> Region {
+    Rc::new(move |p| cell_of(p) == cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freezetag_instances::generators::{snake, uniform_disk};
+    use freezetag_instances::Instance;
+    use freezetag_sim::{validate, ConcreteWorld, ValidationOptions};
+
+    fn run(inst: &Instance, ell: f64) -> freezetag_sim::ValidationReport {
+        let mut sim = Sim::new(ConcreteWorld::new(inst));
+        a_wave(&mut sim, &AWaveConfig { ell });
+        assert!(sim.world().all_awake(), "not everyone woke up");
+        let (_, schedule, _) = sim.into_parts();
+        validate(
+            &schedule,
+            inst.source(),
+            inst.positions(),
+            &ValidationOptions::default(),
+        )
+        .expect("schedule must validate")
+    }
+
+    #[test]
+    fn wakes_uniform_disk_within_home_square() {
+        // R = 8·16·2 = 256 for ell=4: a radius-20 disk fits in round 0.
+        let inst = uniform_disk(60, 20.0, 11);
+        let rep = run(&inst, 4.0);
+        assert_eq!(rep.wake_count, 60);
+    }
+
+    #[test]
+    fn wave_crosses_square_borders() {
+        // A long snake stretching beyond one wave square for ell = 4
+        // (R = 256): legs of 600 force at least two squares.
+        let inst = snake(2, 600.0, 3.0, 2.0);
+        let tuple = inst.admissible_tuple();
+        let rep = run(&inst, tuple.ell);
+        assert_eq!(rep.wake_count, inst.n());
+    }
+
+    #[test]
+    fn energy_stays_within_ell2_log_ell() {
+        let inst = uniform_disk(80, 25.0, 3);
+        let tuple = inst.admissible_tuple();
+        let rep = run(&inst, tuple.ell);
+        let l = effective_ell(tuple.ell);
+        // Measured constant ≈ 550·ℓ²·log₂ℓ: a robot woken in round k
+        // sweeps the separators of all 8 neighbour squares in round k+1
+        // (4 quadrants × 4 rectangles, Θ(R/2) entry/exit legs each, with
+        // R = 8ℓ²log₂ℓ). Θ(ℓ² log ℓ) per robot, as Theorem 5 requires.
+        let budget = 800.0 * l * l * l.log2() + 500.0;
+        assert!(
+            rep.max_energy <= budget,
+            "max energy {} exceeds O(ell^2 log ell) budget {budget}",
+            rep.max_energy
+        );
+    }
+
+    #[test]
+    fn widths_and_bounds() {
+        assert_eq!(wave_width(4.0), 8.0 * 16.0 * 2.0);
+        assert!(wave_width(2.0) == wave_width(4.0), "ell clamps to 4");
+        assert!(separator_bound(256.0, 4.0) > 256.0);
+        assert!(wave_slot(256.0, 4.0) > separator_bound(256.0, 4.0));
+    }
+}

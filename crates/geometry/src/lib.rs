@@ -1,0 +1,49 @@
+//! Planar geometry substrate for the `freezetag` workspace.
+//!
+//! The distributed Freeze Tag algorithms of Gavoille, Hanusse, Le Bouder and
+//! Marcé (PODC 2025) are stated over the Euclidean plane: robots live at
+//! [`Point`]s, explore axis-parallel [`Rect`]angles, recurse over
+//! [`Square`]s and their [`Separator`] rings, and tile the plane with a
+//! [`SquareTiling`]. This crate provides those primitives together with the
+//! boustrophedon [`sweep`] used by the `Explore` procedure (Lemma 1 of the
+//! paper) and clockwise border projections used to order `DFSampling` seeds
+//! (`Sort(X)` in Section 6.5).
+//!
+//! # Example
+//!
+//! ```
+//! use freezetag_geometry::{Point, Square};
+//!
+//! let s = Square::new(Point::ORIGIN, 8.0);
+//! let quads = s.quadrants();
+//! assert_eq!(quads.len(), 4);
+//! // The separator of a square of width R > 2ℓ is the ring of width ℓ
+//! // just inside its border (Section 2.3 of the paper).
+//! let sep = s.separator(1.0);
+//! assert!(sep.contains(Point::new(3.5, 0.0)));
+//! assert!(!sep.contains(Point::ORIGIN));
+//! ```
+
+mod disk;
+mod point;
+mod polyline;
+mod rect;
+mod separator;
+mod square;
+pub mod sweep;
+mod tiling;
+
+pub use disk::Disk;
+pub use point::Point;
+pub use polyline::Polyline;
+pub use rect::Rect;
+pub use separator::Separator;
+pub use square::Square;
+pub use tiling::{CellCoord, SquareTiling};
+
+/// Tolerance used for co-location and containment tests throughout the
+/// workspace. Distances below `EPS` are treated as zero.
+pub const EPS: f64 = 1e-9;
+
+/// `sqrt(2)`, the row spacing of the exploration sweep (Lemma 1).
+pub const SQRT_2: f64 = std::f64::consts::SQRT_2;

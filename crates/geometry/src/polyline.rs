@@ -1,0 +1,144 @@
+use crate::Point;
+
+/// A polygonal chain of waypoints; robot trajectories and sweep paths are
+/// polylines.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::{Point, Polyline};
+/// let mut pl = Polyline::new(Point::ORIGIN);
+/// pl.push(Point::new(3.0, 0.0));
+/// pl.push(Point::new(3.0, 4.0));
+/// assert_eq!(pl.length(), 7.0);
+/// assert_eq!(pl.point_at(5.0), Point::new(3.0, 2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// A polyline consisting of the single starting waypoint.
+    pub fn new(start: Point) -> Self {
+        Polyline {
+            points: vec![start],
+        }
+    }
+
+    /// Builds a polyline from a waypoint list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn from_points(points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "a polyline needs at least one point");
+        Polyline { points }
+    }
+
+    /// Appends a waypoint.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Waypoints in order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// First waypoint.
+    pub fn start(&self) -> Point {
+        self.points[0]
+    }
+
+    /// Last waypoint.
+    pub fn end(&self) -> Point {
+        *self.points.last().expect("non-empty by construction")
+    }
+
+    /// Total Euclidean length.
+    pub fn length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].dist(w[1])).sum()
+    }
+
+    /// The point at arc-length `d` from the start, clamped to the ends.
+    pub fn point_at(&self, d: f64) -> Point {
+        if d <= 0.0 {
+            return self.start();
+        }
+        let mut remaining = d;
+        for w in self.points.windows(2) {
+            let seg = w[0].dist(w[1]);
+            if remaining <= seg {
+                if seg <= crate::EPS {
+                    return w[1];
+                }
+                return w[0].lerp(w[1], remaining / seg);
+            }
+            remaining -= seg;
+        }
+        self.end()
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the polyline is a single point.
+    pub fn is_empty(&self) -> bool {
+        self.points.len() <= 1
+    }
+}
+
+impl Extend<Point> for Polyline {
+    fn extend<T: IntoIterator<Item = Point>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_of_l_shape() {
+        let pl = Polyline::from_points(vec![
+            Point::ORIGIN,
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ]);
+        assert_eq!(pl.length(), 7.0);
+    }
+
+    #[test]
+    fn point_at_interpolates_and_clamps() {
+        let pl = Polyline::from_points(vec![Point::ORIGIN, Point::new(10.0, 0.0)]);
+        assert_eq!(pl.point_at(-1.0), Point::ORIGIN);
+        assert_eq!(pl.point_at(4.0), Point::new(4.0, 0.0));
+        assert_eq!(pl.point_at(100.0), Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segments_are_skipped() {
+        let pl = Polyline::from_points(vec![Point::ORIGIN, Point::ORIGIN, Point::new(2.0, 0.0)]);
+        assert_eq!(pl.length(), 2.0);
+        assert_eq!(pl.point_at(1.0), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut pl = Polyline::new(Point::ORIGIN);
+        pl.extend([Point::new(1.0, 0.0), Point::new(1.0, 1.0)]);
+        assert_eq!(pl.len(), 3);
+        assert_eq!(pl.end(), Point::new(1.0, 1.0));
+        assert!(!pl.is_empty());
+        assert!(Polyline::new(Point::ORIGIN).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_waypoints_panic() {
+        let _ = Polyline::from_points(vec![]);
+    }
+}

@@ -1,0 +1,277 @@
+use crate::Point;
+
+/// An axis-parallel rectangle, stored as its min and max corners.
+///
+/// Rectangles are the exploration unit of the paper: `Explore` (Lemma 1)
+/// sweeps a `w × h` rectangle, and separators decompose into four
+/// rectangles that teams explore in parallel.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::{Point, Rect};
+/// let r = Rect::from_corners(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+/// assert_eq!(r.width(), 4.0);
+/// assert_eq!(r.height(), 2.0);
+/// assert!(r.contains(Point::new(1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Builds the bounding rectangle of two arbitrary corners.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Builds a rectangle from its min corner and non-negative dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 0` or `h < 0`.
+    pub fn with_size(min: Point, w: f64, h: f64) -> Self {
+        assert!(w >= 0.0 && h >= 0.0, "rectangle dimensions must be >= 0");
+        Rect {
+            min,
+            max: Point::new(min.x + w, min.y + h),
+        }
+    }
+
+    /// Min (lower-left) corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Max (upper-right) corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area `w · h`.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at the min
+    /// corner.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Closed containment test (borders included), with [`crate::EPS`]
+    /// slack so points produced by arithmetic on the border still count.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x - crate::EPS
+            && p.x <= self.max.x + crate::EPS
+            && p.y >= self.min.y - crate::EPS
+            && p.y <= self.max.y + crate::EPS
+    }
+
+    /// Strict interior test (distance > `EPS` from every border).
+    pub fn contains_interior(&self, p: Point) -> bool {
+        p.x > self.min.x + crate::EPS
+            && p.x < self.max.x - crate::EPS
+            && p.y > self.min.y + crate::EPS
+            && p.y < self.max.y - crate::EPS
+    }
+
+    /// The point of the rectangle closest to `p` (equals `p` when inside).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Euclidean distance from `p` to the rectangle (0 when inside).
+    pub fn dist(&self, p: Point) -> f64 {
+        p.dist(self.clamp(p))
+    }
+
+    /// Whether `self` and `other` overlap (closed sets).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x + crate::EPS
+            && other.min.x <= self.max.x + crate::EPS
+            && self.min.y <= other.max.y + crate::EPS
+            && other.min.y <= self.max.y + crate::EPS
+    }
+
+    /// Intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let min = Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y));
+        let max = Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y));
+        if min.x <= max.x && min.y <= max.y {
+            Some(Rect { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// Grows the rectangle by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking (`margin < 0`) would invert the rectangle.
+    pub fn inflate(&self, margin: f64) -> Rect {
+        let r = Rect {
+            min: self.min - Point::new(margin, margin),
+            max: self.max + Point::new(margin, margin),
+        };
+        assert!(
+            r.min.x <= r.max.x && r.min.y <= r.max.y,
+            "inflate by {margin} inverted the rectangle"
+        );
+        r
+    }
+
+    /// Splits the rectangle into `k` horizontal strips of equal height,
+    /// bottom to top. Used by the collaborative exploration of Lemma 1 where
+    /// each team member sweeps one strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn horizontal_strips(&self, k: usize) -> Vec<Rect> {
+        assert!(k > 0, "cannot split into 0 strips");
+        let h = self.height() / k as f64;
+        (0..k)
+            .map(|i| {
+                Rect::from_corners(
+                    Point::new(self.min.x, self.min.y + h * i as f64),
+                    Point::new(self.max.x, self.min.y + h * (i + 1) as f64),
+                )
+            })
+            .collect()
+    }
+
+    /// The bounding rectangle of a non-empty point collection.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect {
+            min: first,
+            max: first,
+        };
+        for p in it {
+            r.min.x = r.min.x.min(p.x);
+            r.min.y = r.min.y.min(p.y);
+            r.max.x = r.max.x.max(p.x);
+            r.max.y = r.max.y.max(p.y);
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_and_dims() {
+        let r = Rect::with_size(Point::new(1.0, 2.0), 3.0, 4.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        let c = r.corners();
+        assert_eq!(c[0], Point::new(1.0, 2.0));
+        assert_eq!(c[2], Point::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let r = Rect::from_corners(Point::new(4.0, 6.0), Point::new(1.0, 2.0));
+        assert_eq!(r.min(), Point::new(1.0, 2.0));
+        assert_eq!(r.max(), Point::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn containment_including_border() {
+        let r = Rect::with_size(Point::ORIGIN, 2.0, 2.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(2.1, 1.0)));
+        assert!(r.contains_interior(Point::new(1.0, 1.0)));
+        assert!(!r.contains_interior(Point::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn clamp_and_dist() {
+        let r = Rect::with_size(Point::ORIGIN, 2.0, 2.0);
+        assert_eq!(r.clamp(Point::new(5.0, 1.0)), Point::new(2.0, 1.0));
+        assert_eq!(r.dist(Point::new(5.0, 1.0)), 3.0);
+        assert_eq!(r.dist(Point::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = Rect::with_size(Point::ORIGIN, 4.0, 4.0);
+        let b = Rect::with_size(Point::new(2.0, 2.0), 4.0, 4.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.min(), Point::new(2.0, 2.0));
+        assert_eq!(i.max(), Point::new(4.0, 4.0));
+        let c = Rect::with_size(Point::new(10.0, 10.0), 1.0, 1.0);
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn strips_partition_area() {
+        let r = Rect::with_size(Point::ORIGIN, 3.0, 6.0);
+        let strips = r.horizontal_strips(4);
+        assert_eq!(strips.len(), 4);
+        let total: f64 = strips.iter().map(Rect::area).sum();
+        assert!((total - r.area()).abs() < 1e-9);
+        assert_eq!(strips[0].min(), r.min());
+        assert_eq!(strips[3].max(), r.max());
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
+        let r = Rect::bounding(pts).unwrap();
+        assert_eq!(r.min(), Point::new(-2.0, 0.0));
+        assert_eq!(r.max(), Point::new(3.0, 5.0));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_size_panics() {
+        let _ = Rect::with_size(Point::ORIGIN, -1.0, 1.0);
+    }
+}

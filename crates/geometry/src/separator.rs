@@ -1,0 +1,183 @@
+use crate::{Point, Rect, Square};
+
+/// The separator `sep(S)` of a square `S` of width `R`: the ring bounded by
+/// `S` and the concentric square of width `R − 2ℓ` (Section 2.3 of the
+/// paper).
+///
+/// Lemma 3: any path of hops `≤ ℓ` in the ℓ-disk graph linking a robot
+/// strictly inside `S` to a robot outside `S` contains a robot located in
+/// `sep(S)`. `ASeparator` teams explore exactly these rings to collect
+/// recruitment seeds.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::{Point, Separator, Square};
+/// let sep = Separator::new(Square::new(Point::ORIGIN, 10.0), 1.0);
+/// assert!(sep.contains(Point::new(4.2, 0.0)));    // in the ring
+/// assert!(!sep.contains(Point::new(0.0, 0.0)));   // in the hole
+/// assert!(!sep.contains(Point::new(5.5, 0.0)));   // outside the square
+/// assert_eq!(sep.rectangles().len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Separator {
+    outer: Square,
+    ell: f64,
+}
+
+impl Separator {
+    /// Builds the separator of `outer` for connectivity parameter `ell`.
+    ///
+    /// When `outer.width() ≤ 2·ell` the ring degenerates to the full square
+    /// ([`Separator::is_degenerate`] returns `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell <= 0` or not finite.
+    pub fn new(outer: Square, ell: f64) -> Self {
+        assert!(ell > 0.0 && ell.is_finite(), "separator width must be > 0");
+        Separator { outer, ell }
+    }
+
+    /// The bounding square `S`.
+    pub fn outer(&self) -> Square {
+        self.outer
+    }
+
+    /// The ring thickness `ℓ`.
+    pub fn ell(&self) -> f64 {
+        self.ell
+    }
+
+    /// The inner hole (square of width `R − 2ℓ`), or `None` when the ring
+    /// degenerates to the whole square.
+    pub fn hole(&self) -> Option<Square> {
+        let w = self.outer.width() - 2.0 * self.ell;
+        if w > crate::EPS {
+            Some(Square::new(self.outer.center(), w))
+        } else {
+            None
+        }
+    }
+
+    /// `true` when the ring covers the whole square (no hole).
+    pub fn is_degenerate(&self) -> bool {
+        self.hole().is_none()
+    }
+
+    /// Ring membership: inside `S` but not strictly inside the hole.
+    pub fn contains(&self, p: Point) -> bool {
+        if !self.outer.contains(p) {
+            return false;
+        }
+        match self.hole() {
+            Some(hole) => !hole.to_rect().contains_interior(p),
+            None => true,
+        }
+    }
+
+    /// Decomposes the ring into four rectangles of dimensions
+    /// `ℓ × (R − ℓ)` arranged in a pinwheel: bottom, right, top, left.
+    /// Each `ASeparator` team explores these four rectangles with the
+    /// `Explore` routine (Lemma 10 uses this exact decomposition).
+    ///
+    /// For a degenerate separator the decomposition is a single rectangle —
+    /// the whole square.
+    pub fn rectangles(&self) -> Vec<Rect> {
+        let r = self.outer.to_rect();
+        if self.is_degenerate() {
+            return vec![r];
+        }
+        let l = self.ell;
+        let (min, max) = (r.min(), r.max());
+        vec![
+            // bottom strip: full width minus the left column, height ℓ
+            Rect::from_corners(Point::new(min.x + l, min.y), Point::new(max.x, min.y + l)),
+            // right strip
+            Rect::from_corners(Point::new(max.x - l, min.y + l), Point::new(max.x, max.y)),
+            // top strip
+            Rect::from_corners(Point::new(min.x, max.y - l), Point::new(max.x - l, max.y)),
+            // left strip
+            Rect::from_corners(Point::new(min.x, min.y), Point::new(min.x + l, max.y - l)),
+        ]
+    }
+
+    /// Area of the ring.
+    pub fn area(&self) -> f64 {
+        let outer = self.outer.to_rect().area();
+        match self.hole() {
+            Some(h) => outer - h.to_rect().area(),
+            None => outer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sep(width: f64, ell: f64) -> Separator {
+        Separator::new(Square::new(Point::ORIGIN, width), ell)
+    }
+
+    #[test]
+    fn ring_membership() {
+        let s = sep(10.0, 1.0);
+        assert!(s.contains(Point::new(4.5, 0.0)));
+        assert!(s.contains(Point::new(5.0, 5.0))); // outer corner
+        assert!(s.contains(Point::new(4.0, 4.0))); // hole corner counts (closed ring)
+        assert!(!s.contains(Point::new(3.9, 0.0)));
+        assert!(!s.contains(Point::new(5.1, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_when_narrow() {
+        let s = sep(2.0, 1.0);
+        assert!(s.is_degenerate());
+        assert!(s.contains(Point::ORIGIN));
+        assert_eq!(s.rectangles().len(), 1);
+    }
+
+    #[test]
+    fn rectangles_cover_ring_and_have_ring_area() {
+        let s = sep(10.0, 1.0);
+        let rects = s.rectangles();
+        assert_eq!(rects.len(), 4);
+        let total: f64 = rects.iter().map(Rect::area).sum();
+        assert!((total - s.area()).abs() < 1e-9, "total {total}");
+        // Pinwheel rectangles are pairwise disjoint in the interior.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                if let Some(ix) = rects[i].intersection(&rects[j]) {
+                    assert!(ix.area() < 1e-9, "rects {i},{j} overlap");
+                }
+            }
+        }
+        // Sample ring points are covered by some rectangle.
+        for p in [
+            Point::new(4.5, 0.0),
+            Point::new(-4.5, 0.0),
+            Point::new(0.0, 4.5),
+            Point::new(0.0, -4.5),
+            Point::new(4.9, 4.9),
+        ] {
+            assert!(rects.iter().any(|r| r.contains(p)), "uncovered {p}");
+        }
+    }
+
+    #[test]
+    fn area_formula() {
+        let s = sep(10.0, 1.0);
+        assert!((s.area() - (100.0 - 64.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_dims_are_ell_by_r_minus_ell() {
+        let s = sep(10.0, 1.0);
+        for r in s.rectangles() {
+            let (a, b) = (r.width().min(r.height()), r.width().max(r.height()));
+            assert!((a - 1.0).abs() < 1e-9);
+            assert!((b - 9.0).abs() < 1e-9);
+        }
+    }
+}

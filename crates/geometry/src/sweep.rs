@@ -1,0 +1,135 @@
+//! Boustrophedon sweep generation for the `Explore` procedure (Lemma 1).
+//!
+//! A robot with unit-vision snapshots certifies a `√2 × √2` square around
+//! each snapshot point (the square inscribed in the unit disk). A rectangle
+//! is therefore fully observed by snapshots placed on a grid of spacing at
+//! most `√2`, visited in serpentine (boustrophedon) order: rows separated by
+//! `√2`, one snapshot every `√2` of movement, exactly as in the proof of
+//! Lemma 1.
+
+use crate::{Point, Rect, SQRT_2};
+
+/// Number of columns and rows of the snapshot grid covering `rect` so that
+/// every point of `rect` is within distance 1 of a snapshot point.
+pub fn grid_dims(rect: &Rect) -> (usize, usize) {
+    let cols = (rect.width() / SQRT_2).ceil().max(1.0) as usize;
+    let rows = (rect.height() / SQRT_2).ceil().max(1.0) as usize;
+    (cols, rows)
+}
+
+/// The snapshot positions covering `rect`, in serpentine order starting at
+/// the bottom-left: row 0 runs left→right, row 1 right→left, and so on.
+///
+/// Guarantees: consecutive positions are at distance `≤ √2 + √2` (a row
+/// step plus a column step at turns, `≤ √2` within a row), and every point
+/// of `rect` is within Euclidean distance 1 of some returned position.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::{Point, Rect};
+/// use freezetag_geometry::sweep::snapshot_positions;
+/// let rect = Rect::with_size(Point::ORIGIN, 4.0, 4.0);
+/// let snaps = snapshot_positions(&rect);
+/// // Every corner is observed by some snapshot.
+/// for corner in rect.corners() {
+///     assert!(snaps.iter().any(|s| s.dist(corner) <= 1.0));
+/// }
+/// ```
+pub fn snapshot_positions(rect: &Rect) -> Vec<Point> {
+    let (cols, rows) = grid_dims(rect);
+    let dx = rect.width() / cols as f64;
+    let dy = rect.height() / rows as f64;
+    let mut out = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        let y = rect.min().y + (r as f64 + 0.5) * dy;
+        if r % 2 == 0 {
+            for c in 0..cols {
+                out.push(Point::new(rect.min().x + (c as f64 + 0.5) * dx, y));
+            }
+        } else {
+            for c in (0..cols).rev() {
+                out.push(Point::new(rect.min().x + (c as f64 + 0.5) * dx, y));
+            }
+        }
+    }
+    out
+}
+
+/// Length of the serpentine sweep path through [`snapshot_positions`]
+/// (not counting entry/exit legs).
+pub fn sweep_length(rect: &Rect) -> f64 {
+    let snaps = snapshot_positions(rect);
+    snaps.windows(2).map(|w| w[0].dist(w[1])).sum()
+}
+
+/// Upper bound `wh/√2 + w + 2h` on the sweep length used for
+/// synchronization: a team member can compute when every other member is
+/// guaranteed to have finished its strip (Lemma 1's rendezvous at `p'`).
+pub fn sweep_length_bound(rect: &Rect) -> f64 {
+    let (w, h) = (rect.width(), rect.height());
+    w * h / SQRT_2 + w + 2.0 * h + 2.0 * SQRT_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_cover_spacing() {
+        let r = Rect::with_size(Point::ORIGIN, 10.0, 3.0);
+        let (cols, rows) = grid_dims(&r);
+        assert!(10.0 / cols as f64 <= SQRT_2 + 1e-12);
+        assert!(3.0 / rows as f64 <= SQRT_2 + 1e-12);
+    }
+
+    #[test]
+    fn snapshots_cover_rectangle() {
+        let r = Rect::with_size(Point::new(-3.0, 2.0), 7.3, 4.9);
+        let snaps = snapshot_positions(&r);
+        // Dense sample of the rectangle: all points within distance 1 of
+        // some snapshot.
+        let steps = 23;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let p = Point::new(
+                    r.min().x + r.width() * i as f64 / steps as f64,
+                    r.min().y + r.height() * j as f64 / steps as f64,
+                );
+                let d = snaps
+                    .iter()
+                    .map(|s| s.dist(p))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(d <= 1.0 + 1e-9, "point {p} at distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn serpentine_consecutive_steps_are_short() {
+        let r = Rect::with_size(Point::ORIGIN, 9.0, 6.0);
+        let snaps = snapshot_positions(&r);
+        for w in snaps.windows(2) {
+            assert!(w[0].dist(w[1]) <= 2.0 * SQRT_2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_length_within_bound() {
+        for (w, h) in [(1.0, 1.0), (8.0, 2.0), (2.0, 16.0), (31.0, 17.0)] {
+            let r = Rect::with_size(Point::ORIGIN, w, h);
+            assert!(
+                sweep_length(&r) <= sweep_length_bound(&r),
+                "sweep of {w}x{h} exceeds bound"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_rectangles_have_snapshots() {
+        let line = Rect::with_size(Point::ORIGIN, 5.0, 0.0);
+        assert!(!snapshot_positions(&line).is_empty());
+        let point = Rect::with_size(Point::ORIGIN, 0.0, 0.0);
+        assert_eq!(snapshot_positions(&point).len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+use crate::{Point, Square};
+
+/// Integer coordinates of a cell in a [`SquareTiling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CellCoord {
+    /// Horizontal cell index.
+    pub i: i64,
+    /// Vertical cell index.
+    pub j: i64,
+}
+
+impl CellCoord {
+    /// Creates a coordinate pair.
+    pub const fn new(i: i64, j: i64) -> Self {
+        CellCoord { i, j }
+    }
+}
+
+impl std::fmt::Display for CellCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.i, self.j)
+    }
+}
+
+/// A tiling of the plane by axis-parallel squares of a fixed width,
+/// centered at integer multiples of the width: cell `(k, k')` is the square
+/// centered at `(k·w, k'·w)`.
+///
+/// `AGrid` uses this with `w = 2ℓ` (squares centered at `(2kℓ, 2k'ℓ)`,
+/// Section 4) and `AWave` with `w = 8ℓ² log₂ ℓ` (Section 8.2).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::{Point, SquareTiling};
+/// let t = SquareTiling::new(2.0);
+/// let c = t.cell_of(Point::new(2.9, -0.9));
+/// assert_eq!((c.i, c.j), (1, 0));
+/// assert_eq!(t.square_of(c).center(), Point::new(2.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareTiling {
+    width: f64,
+}
+
+impl SquareTiling {
+    /// Creates a tiling with the given cell width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or not finite.
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "invalid tiling width");
+        SquareTiling { width }
+    }
+
+    /// Cell width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The cell containing `p` (round-to-nearest; border points resolve to
+    /// the cell whose center is nearest, ties towards even).
+    pub fn cell_of(&self, p: Point) -> CellCoord {
+        CellCoord::new(
+            (p.x / self.width).round() as i64,
+            (p.y / self.width).round() as i64,
+        )
+    }
+
+    /// The square of a given cell.
+    pub fn square_of(&self, c: CellCoord) -> Square {
+        Square::new(
+            Point::new(c.i as f64 * self.width, c.j as f64 * self.width),
+            self.width,
+        )
+    }
+
+    /// The 8 neighbouring cells in counter-clockwise order starting East,
+    /// the order in which `AGrid` robots visit adjacent squares.
+    ///
+    /// For a fixed slot `i`, the map `c ↦ neighbors8(c)[i]` is a translation
+    /// of the grid, hence injective: at any given time slot a square is
+    /// targeted from a unique source square — the paper's implicit
+    /// conflict-freedom argument for the wave schedule.
+    pub fn neighbors8(&self, c: CellCoord) -> [CellCoord; 8] {
+        const DIRS: [(i64, i64); 8] = [
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (-1, 1),
+            (-1, 0),
+            (-1, -1),
+            (0, -1),
+            (1, -1),
+        ];
+        DIRS.map(|(di, dj)| CellCoord::new(c.i + di, c.j + dj))
+    }
+
+    /// Chebyshev adjacency between cells (shared edge or corner).
+    pub fn adjacent(&self, a: CellCoord, b: CellCoord) -> bool {
+        a != b && (a.i - b.i).abs() <= 1 && (a.j - b.j).abs() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_of_center_and_offsets() {
+        let t = SquareTiling::new(4.0);
+        assert_eq!(t.cell_of(Point::ORIGIN), CellCoord::new(0, 0));
+        assert_eq!(t.cell_of(Point::new(4.0, 4.0)), CellCoord::new(1, 1));
+        assert_eq!(t.cell_of(Point::new(-3.0, 1.9)), CellCoord::new(-1, 0));
+    }
+
+    #[test]
+    fn square_of_round_trips_cell_of() {
+        let t = SquareTiling::new(3.0);
+        for (i, j) in [(0, 0), (5, -7), (-2, 11)] {
+            let c = CellCoord::new(i, j);
+            let s = t.square_of(c);
+            assert_eq!(t.cell_of(s.center()), c);
+            // Interior points map back to the same cell.
+            let p = s.center() + Point::new(1.4, -1.4);
+            assert_eq!(t.cell_of(p), c);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_translations() {
+        let t = SquareTiling::new(2.0);
+        let c = CellCoord::new(3, -1);
+        let ns = t.neighbors8(c);
+        assert_eq!(ns.len(), 8);
+        for n in ns {
+            assert!(t.adjacent(c, n));
+        }
+        // Injectivity per slot: two distinct sources target distinct cells.
+        let d = CellCoord::new(0, 0);
+        for slot in 0..8 {
+            assert_ne!(t.neighbors8(c)[slot], t.neighbors8(d)[slot]);
+        }
+    }
+
+    #[test]
+    fn counter_clockwise_order_starts_east() {
+        let t = SquareTiling::new(1.0);
+        let ns = t.neighbors8(CellCoord::new(0, 0));
+        assert_eq!(ns[0], CellCoord::new(1, 0));
+        assert_eq!(ns[2], CellCoord::new(0, 1));
+        assert_eq!(ns[4], CellCoord::new(-1, 0));
+        assert_eq!(ns[6], CellCoord::new(0, -1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", CellCoord::new(2, -3)), "[2, -3]");
+    }
+}

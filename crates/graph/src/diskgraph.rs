@@ -1,0 +1,146 @@
+use crate::{GridIndex, UnionFind};
+use freezetag_geometry::Point;
+
+/// The δ-disk graph of a point set: vertices are the points, and two points
+/// are adjacent iff their Euclidean distance is at most `δ`; edge weights
+/// are the distances (Section 1.2 of the paper).
+///
+/// Adjacency is answered through a [`GridIndex`] with cell width `δ`, so
+/// building the graph is `O(n)` and neighbourhood queries touch only the
+/// nine surrounding cells.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_graph::DiskGraph;
+///
+/// let g = DiskGraph::new(
+///     vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(3.0, 0.0)],
+///     1.5,
+/// );
+/// assert_eq!(g.neighbors(0), vec![(1, 1.0)]);
+/// assert!(!g.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskGraph {
+    index: GridIndex,
+    delta: f64,
+}
+
+impl DiskGraph {
+    /// Builds the δ-disk graph of `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta <= 0` or not finite.
+    pub fn new(points: Vec<Point>, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta.is_finite(), "invalid disk-graph delta");
+        DiskGraph {
+            index: GridIndex::build(&points, delta),
+            delta,
+        }
+    }
+
+    /// The vertex positions.
+    pub fn points(&self) -> &[Point] {
+        self.index.points()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The connectivity parameter δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Neighbours of vertex `v` with their edge weights, ascending by
+    /// vertex index. `v` itself is excluded.
+    pub fn neighbors(&self, v: usize) -> Vec<(usize, f64)> {
+        let p = self.points()[v];
+        self.index
+            .within(p, self.delta)
+            .filter(|&u| u != v)
+            .map(|u| (u, self.points()[u].dist(p)))
+            .collect()
+    }
+
+    /// Whether the whole graph is connected (vacuously true when empty or a
+    /// single vertex).
+    pub fn is_connected(&self) -> bool {
+        self.component_count() <= 1
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let n = self.len();
+        let mut uf = UnionFind::new(n);
+        for v in 0..n {
+            for (u, _) in self.neighbors(v) {
+                uf.union(u, v);
+            }
+        }
+        uf.components()
+    }
+
+    /// Underlying spatial index (for callers that need raw range queries).
+    pub fn index(&self) -> &GridIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_respect_delta() {
+        let g = DiskGraph::new(
+            vec![
+                Point::ORIGIN,
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 3.0),
+            ],
+            1.0,
+        );
+        assert_eq!(g.neighbors(0), vec![(1, 1.0)]);
+        assert_eq!(g.neighbors(1).len(), 2);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut pts = vec![Point::ORIGIN];
+        for i in 1..10 {
+            pts.push(Point::new(i as f64, 0.0));
+        }
+        let g = DiskGraph::new(pts.clone(), 1.0);
+        assert!(g.is_connected());
+        let g2 = DiskGraph::new(pts, 0.9);
+        assert_eq!(g2.component_count(), 10);
+        assert!(!g2.is_connected());
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(DiskGraph::new(vec![], 1.0).is_connected());
+        assert!(DiskGraph::new(vec![Point::ORIGIN], 1.0).is_connected());
+        assert!(DiskGraph::new(vec![], 1.0).is_empty());
+        assert_eq!(DiskGraph::new(vec![Point::ORIGIN], 2.0).len(), 1);
+    }
+
+    #[test]
+    fn delta_is_inclusive() {
+        let g = DiskGraph::new(vec![Point::ORIGIN, Point::new(2.0, 0.0)], 2.0);
+        assert_eq!(g.neighbors(0).len(), 1);
+    }
+}

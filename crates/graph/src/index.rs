@@ -1,0 +1,208 @@
+use freezetag_geometry::Point;
+use std::collections::HashMap;
+
+/// Uniform-grid spatial index over a fixed point set.
+///
+/// Buckets points into square cells of a chosen width; range queries then
+/// touch only the `O(1)` cells overlapping the query disk (for query radii
+/// on the order of the cell width). This keeps δ-disk-graph adjacency
+/// queries near-linear instead of quadratic, which matters for the
+/// instance-parameter computations on large swarms.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_graph::GridIndex;
+///
+/// let pts = vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(5.0, 5.0)];
+/// let idx = GridIndex::build(&pts, 1.0);
+/// let near: Vec<usize> = idx.within(Point::ORIGIN, 1.5).collect();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given cell width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_width <= 0` or not finite.
+    pub fn build(points: &[Point], cell_width: f64) -> Self {
+        assert!(
+            cell_width > 0.0 && cell_width.is_finite(),
+            "invalid cell width"
+        );
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets.entry(Self::key(*p, cell_width)).or_default().push(i);
+        }
+        GridIndex {
+            points: points.to_vec(),
+            cell: cell_width,
+            buckets,
+        }
+    }
+
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// The indexed points, in input order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within Euclidean distance `r` of `q`
+    /// (inclusive, with `EPS` slack), in ascending index order.
+    pub fn within(&self, q: Point, r: f64) -> impl Iterator<Item = usize> + '_ {
+        let r = r.max(0.0);
+        // Inflate the scanned cell range by the acceptance slack: a point
+        // at distance r + 1e-15 must still be found (the distance test
+        // below accepts it), even when it falls a hair across a cell
+        // boundary.
+        let rr = r + 2.0 * freezetag_geometry::EPS;
+        let lo = Self::key(q - Point::new(rr, rr), self.cell);
+        let hi = Self::key(q + Point::new(rr, rr), self.cell);
+        let mut out: Vec<usize> = Vec::new();
+        for i in lo.0..=hi.0 {
+            for j in lo.1..=hi.1 {
+                if let Some(bucket) = self.buckets.get(&(i, j)) {
+                    for &idx in bucket {
+                        if self.points[idx].dist(q) <= r + freezetag_geometry::EPS {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.into_iter()
+    }
+
+    /// Index of the closest point to `q`, or `None` when the index is
+    /// empty. Falls back to a full scan; the index accelerates only
+    /// bounded-radius queries.
+    pub fn nearest(&self, q: Point) -> Option<usize> {
+        (0..self.points.len()).min_by(|&a, &b| {
+            self.points[a]
+                .dist_sq(q)
+                .partial_cmp(&self.points[b].dist_sq(q))
+                .expect("finite coordinates")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point::ORIGIN,
+            Point::new(0.9, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(-3.0, 4.0),
+            Point::new(0.0, 0.95),
+        ]
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let points = pts();
+        let idx = GridIndex::build(&points, 1.0);
+        for &(q, r) in &[
+            (Point::ORIGIN, 1.0),
+            (Point::new(1.0, 1.0), 2.0),
+            (Point::new(-3.0, 4.0), 0.5),
+            (Point::ORIGIN, 10.0),
+            (Point::ORIGIN, 0.0),
+        ] {
+            let got: Vec<usize> = idx.within(q, r).collect();
+            let want: Vec<usize> = (0..points.len())
+                .filter(|&i| points[i].dist(q) <= r + freezetag_geometry::EPS)
+                .collect();
+            assert_eq!(got, want, "query {q} r={r}");
+        }
+    }
+
+    #[test]
+    fn nearest_point() {
+        let points = pts();
+        let idx = GridIndex::build(&points, 1.0);
+        assert_eq!(idx.nearest(Point::new(0.8, 0.1)), Some(1));
+        assert_eq!(idx.nearest(Point::new(-2.0, 3.0)), Some(3));
+        assert!(GridIndex::build(&[], 1.0).nearest(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(GridIndex::build(&[], 2.0).is_empty());
+        assert_eq!(GridIndex::build(&pts(), 2.0).len(), 5);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let points = vec![Point::new(-0.5, -0.5), Point::new(-1.5, -1.5)];
+        let idx = GridIndex::build(&points, 1.0);
+        let got: Vec<usize> = idx.within(Point::new(-1.0, -1.0), 0.8).collect();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The grid index agrees with brute force for arbitrary points,
+            /// cell widths, query centres and radii — including radii much
+            /// larger and much smaller than the cell width, and points
+            /// sitting exactly on cell boundaries.
+            #[test]
+            fn within_matches_brute_force_always(
+                raw in prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 0..40),
+                cell in 0.1f64..5.0,
+                qx in -25.0f64..25.0,
+                qy in -25.0f64..25.0,
+                r in 0.0f64..30.0,
+            ) {
+                let pts: Vec<Point> = raw.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+                let idx = GridIndex::build(&pts, cell);
+                let q = Point::new(qx, qy);
+                let got: Vec<usize> = idx.within(q, r).collect();
+                let want: Vec<usize> = (0..pts.len())
+                    .filter(|&i| pts[i].dist(q) <= r + freezetag_geometry::EPS)
+                    .collect();
+                prop_assert_eq!(got, want);
+            }
+
+            /// Points landing exactly on integer cell boundaries are found
+            /// at exactly boundary-touching radii.
+            #[test]
+            fn boundary_exactness(k in -10i32..10, cell in 0.5f64..3.0) {
+                let p = Point::new(k as f64 * cell, 0.0);
+                let idx = GridIndex::build(&[p], cell);
+                let q = Point::new(p.x + cell, 0.0);
+                let got: Vec<usize> = idx.within(q, cell).collect();
+                prop_assert_eq!(got, vec![0usize]);
+            }
+        }
+    }
+}

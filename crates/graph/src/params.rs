@@ -1,0 +1,219 @@
+use crate::{dijkstra, DiskGraph};
+use freezetag_geometry::Point;
+
+/// Radius `ρ*`: the largest distance from `points[source]` to any other
+/// point (0 when the set is a singleton).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn radius(points: &[Point], source: usize) -> f64 {
+    let s = points[source];
+    points
+        .iter()
+        .map(|p| p.dist(s))
+        .fold(0.0, f64::max)
+}
+
+/// Connectivity threshold `ℓ*`: the least `δ` such that the δ-disk graph of
+/// the point set is connected. This is the bottleneck (largest) edge of a
+/// minimum spanning tree, computed with Prim's algorithm in `O(n²)` time —
+/// exact, and fast enough for the swarm sizes of the benchmarks.
+///
+/// Returns 0 for empty or singleton sets.
+pub fn connectivity_threshold(points: &[Point]) -> f64 {
+    let n = points.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    in_tree[0] = true;
+    for (i, b) in best.iter_mut().enumerate().skip(1) {
+        *b = points[i].dist(points[0]);
+    }
+    let mut bottleneck: f64 = 0.0;
+    for _ in 1..n {
+        let mut v = usize::MAX;
+        let mut vd = f64::INFINITY;
+        for u in 0..n {
+            if !in_tree[u] && best[u] < vd {
+                vd = best[u];
+                v = u;
+            }
+        }
+        debug_assert!(v != usize::MAX, "disconnected complete graph impossible");
+        in_tree[v] = true;
+        bottleneck = bottleneck.max(vd);
+        for u in 0..n {
+            if !in_tree[u] {
+                let d = points[u].dist(points[v]);
+                if d < best[u] {
+                    best[u] = d;
+                }
+            }
+        }
+    }
+    bottleneck
+}
+
+/// ℓ-eccentricity `ξ_ℓ`: the minimum weighted depth of a spanning tree of
+/// the ℓ-disk graph rooted at the source — equivalently the largest
+/// shortest-path distance from the source. `None` when the ℓ-disk graph is
+/// not connected (the paper writes `ξ_ℓ = ∞`).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `ell <= 0`.
+pub fn eccentricity(points: &[Point], source: usize, ell: f64) -> Option<f64> {
+    if points.len() <= 1 {
+        return Some(0.0);
+    }
+    let g = DiskGraph::new(points.to_vec(), ell);
+    dijkstra(&g, source).eccentricity()
+}
+
+/// The three parameters `(ρ*, ℓ*, ξ_ℓ)` of an instance, computed exactly.
+///
+/// Proposition 1 of the paper: `0 < ℓ* ≤ ρ* ≤ ξ_ℓ ≤ n·ℓ*` for every point
+/// set with at least one non-source point (the property tests of this
+/// workspace check exactly this chain).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_graph::InstanceParams;
+///
+/// let pts = vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+/// let params = InstanceParams::compute(&pts, 0, None);
+/// assert!((params.rho_star - 2.0).abs() < 1e-9);
+/// assert!((params.ell_star - 1.0).abs() < 1e-9);
+/// assert_eq!(params.xi_ell, Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceParams {
+    /// Radius `ρ*`.
+    pub rho_star: f64,
+    /// Connectivity threshold `ℓ*`.
+    pub ell_star: f64,
+    /// The `ℓ` at which `xi_ell` was evaluated (defaults to `ℓ*`).
+    pub ell: f64,
+    /// ℓ-eccentricity `ξ_ℓ`, `None` when the ℓ-disk graph is disconnected.
+    pub xi_ell: Option<f64>,
+}
+
+impl InstanceParams {
+    /// Computes all parameters of `points` with the given source index.
+    /// `ell` defaults to the exact connectivity threshold `ℓ*` when `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range, or if the provided `ell` is not
+    /// positive while the set has more than one point.
+    pub fn compute(points: &[Point], source: usize, ell: Option<f64>) -> Self {
+        let rho_star = radius(points, source);
+        let ell_star = connectivity_threshold(points);
+        let ell = ell.unwrap_or(ell_star);
+        let xi_ell = if points.len() <= 1 {
+            Some(0.0)
+        } else {
+            assert!(ell > 0.0, "ell must be positive for multi-point sets");
+            eccentricity(points, source, ell)
+        };
+        InstanceParams {
+            rho_star,
+            ell_star,
+            ell,
+            xi_ell,
+        }
+    }
+
+    /// Whether a tuple `(ℓ, ρ, n)` is admissible (`ℓ ≤ ρ ≤ nℓ`, Section
+    /// 1.2) *and* consistent with these parameters (`ℓ* ≤ ℓ`, `ρ* ≤ ρ`).
+    pub fn admits(&self, ell: f64, rho: f64, n: usize) -> bool {
+        ell <= rho + freezetag_geometry::EPS
+            && rho <= n as f64 * ell + freezetag_geometry::EPS
+            && self.ell_star <= ell + freezetag_geometry::EPS
+            && self.rho_star <= rho + freezetag_geometry::EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_of_cross() {
+        let pts = vec![
+            Point::ORIGIN,
+            Point::new(3.0, 0.0),
+            Point::new(0.0, -5.0),
+            Point::new(-1.0, 0.0),
+        ];
+        assert_eq!(radius(&pts, 0), 5.0);
+    }
+
+    #[test]
+    fn threshold_is_bottleneck_edge() {
+        // Two clusters at distance 5 with intra-cluster distances <= sqrt(2).
+        let pts = vec![
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(6.0, 1.0),
+            Point::new(6.0, 2.0),
+        ];
+        let t = connectivity_threshold(&pts);
+        assert!((t - 5.0).abs() < 1e-9, "got {t}");
+        // Sanity: graph at threshold is connected, just below is not.
+        assert!(DiskGraph::new(pts.clone(), t).is_connected());
+        assert!(!DiskGraph::new(pts, t * 0.999).is_connected());
+    }
+
+    #[test]
+    fn threshold_edge_cases() {
+        assert_eq!(connectivity_threshold(&[]), 0.0);
+        assert_eq!(connectivity_threshold(&[Point::ORIGIN]), 0.0);
+        let two = [Point::ORIGIN, Point::new(0.0, 2.5)];
+        assert!((connectivity_threshold(&two) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eccentricity_on_line_and_disconnection() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_eq!(eccentricity(&pts, 0, 1.0), Some(4.0));
+        // Larger ell allows longer hops, shrinking the eccentricity.
+        assert_eq!(eccentricity(&pts, 0, 4.0), Some(4.0));
+        assert_eq!(eccentricity(&pts, 0, 0.5), None);
+    }
+
+    #[test]
+    fn proposition_1_chain_on_line() {
+        let pts: Vec<Point> = (0..6).map(|i| Point::new(i as f64, 0.0)).collect();
+        let p = InstanceParams::compute(&pts, 0, None);
+        let xi = p.xi_ell.unwrap();
+        assert!(p.ell_star > 0.0);
+        assert!(p.ell_star <= p.rho_star);
+        assert!(p.rho_star <= xi);
+        assert!(xi <= pts.len() as f64 * p.ell_star);
+    }
+
+    #[test]
+    fn admissibility() {
+        let pts = vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let p = InstanceParams::compute(&pts, 0, None);
+        assert!(p.admits(1.0, 2.0, 2));
+        assert!(!p.admits(0.5, 2.0, 4)); // ell below ell*
+        assert!(!p.admits(1.0, 1.5, 2)); // rho below rho*
+        assert!(!p.admits(1.0, 4.0, 3)); // rho > n*ell
+    }
+
+    #[test]
+    fn singleton_params() {
+        let p = InstanceParams::compute(&[Point::ORIGIN], 0, None);
+        assert_eq!(p.rho_star, 0.0);
+        assert_eq!(p.ell_star, 0.0);
+        assert_eq!(p.xi_ell, Some(0.0));
+    }
+}

@@ -1,0 +1,288 @@
+//! Reproducible instance generators.
+//!
+//! Every generator takes an explicit `seed` (when randomized) and
+//! guarantees a *connected* instance: the generated point set, together
+//! with the source at the origin, has a finite connectivity threshold that
+//! the construction controls. The generators cover the workload families
+//! used by the paper's complexity statements:
+//!
+//! * [`uniform_disk`] — dense swarms where `ρ* ≈ ξ_ℓ` (makespan dominated
+//!   by `ρ`);
+//! * [`snake`] — serpentine corridors where `ξ_ℓ ≫ ρ*` (separating `AGrid`
+//!   from `AWave`);
+//! * [`grid_lattice`], [`ring`], [`clustered`], [`two_clusters_bridge`] —
+//!   structured mid-cases.
+
+use crate::Instance;
+use freezetag_geometry::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` robots uniform in the disk of the given `radius` around the source,
+/// then *stitched*: any robot left disconnected from the source is pulled
+/// towards it until the whole instance is connected at threshold
+/// `≈ radius·2/√n`… in practice we simply resample isolated outliers, so
+/// the exact `ℓ*` is computed, not prescribed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius <= 0`.
+pub fn uniform_disk(n: usize, radius: f64, seed: u64) -> Instance {
+    assert!(n > 0, "need at least one robot");
+    assert!(radius > 0.0, "radius must be positive");
+    let mut r = rng(seed);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x: f64 = r.gen_range(-radius..=radius);
+        let y: f64 = r.gen_range(-radius..=radius);
+        let p = Point::new(x, y);
+        if p.norm() <= radius && p.norm() > 1e-6 {
+            pts.push(p);
+        }
+    }
+    Instance::new(pts)
+}
+
+/// Robots on the nodes of a `rows × cols` lattice with the given spacing,
+/// lower-left node adjacent to the source. The connectivity threshold is
+/// exactly `spacing`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `cols == 0` or `spacing <= 0`.
+pub fn grid_lattice(rows: usize, cols: usize, spacing: f64) -> Instance {
+    assert!(rows > 0 && cols > 0, "lattice must be non-empty");
+    assert!(spacing > 0.0, "spacing must be positive");
+    let mut pts = Vec::with_capacity(rows * cols);
+    for i in 0..cols {
+        for j in 0..rows {
+            let p = Point::new((i + 1) as f64 * spacing, j as f64 * spacing);
+            pts.push(p);
+        }
+    }
+    Instance::new(pts)
+}
+
+/// A serpentine corridor: robots every `spacing` along a rectilinear snake
+/// of `legs` horizontal legs of the given `leg_length`, alternating
+/// direction, with vertical risers of height `riser`. High `ξ_ℓ / ρ*`
+/// ratio — the workload that separates the energy-constrained algorithms.
+///
+/// # Panics
+///
+/// Panics if any dimension is non-positive or `legs == 0`.
+pub fn snake(legs: usize, leg_length: f64, riser: f64, spacing: f64) -> Instance {
+    assert!(legs > 0, "need at least one leg");
+    assert!(
+        leg_length > 0.0 && riser > 0.0 && spacing > 0.0,
+        "snake dimensions must be positive"
+    );
+    let mut waypoints = vec![Point::ORIGIN];
+    let mut y = 0.0;
+    for leg in 0..legs {
+        let x = if leg % 2 == 0 { leg_length } else { 0.0 };
+        waypoints.push(Point::new(x, y));
+        if leg + 1 < legs {
+            y += riser;
+            waypoints.push(Point::new(x, y));
+        }
+    }
+    let poly = freezetag_geometry::Polyline::from_points(waypoints);
+    let total = poly.length();
+    let count = (total / spacing).floor() as usize;
+    let mut pts = Vec::with_capacity(count);
+    for k in 1..=count {
+        pts.push(poly.point_at(k as f64 * spacing));
+    }
+    Instance::new(pts)
+}
+
+/// `n` robots evenly spaced on a circle of the given `radius` centred at
+/// the source, plus a radial chain of `⌈radius/spacing⌉` robots linking the
+/// source to the circle so the instance is connected.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `radius <= 0` or `spacing <= 0`.
+pub fn ring(n: usize, radius: f64, spacing: f64, seed: u64) -> Instance {
+    assert!(n > 0, "need at least one robot");
+    assert!(radius > 0.0 && spacing > 0.0, "dimensions must be positive");
+    let mut r = rng(seed);
+    let phase: f64 = r.gen_range(0.0..std::f64::consts::TAU);
+    let mut pts = Vec::new();
+    for k in 0..n {
+        let a = phase + std::f64::consts::TAU * k as f64 / n as f64;
+        pts.push(Point::new(radius * a.cos(), radius * a.sin()));
+    }
+    // Radial chain from the source to the first ring robot.
+    let target = pts[0];
+    let links = (radius / spacing).ceil() as usize;
+    for k in 1..links {
+        pts.push(Point::ORIGIN.lerp(target, k as f64 / links as f64));
+    }
+    Instance::new(pts)
+}
+
+/// `clusters` Gaussian-ish blobs of `per_cluster` robots each, blob centres
+/// themselves chained to the source so the instance is connected. Models
+/// the "warehouse aisles" scenario of the examples.
+///
+/// # Panics
+///
+/// Panics if any count is zero or any radius non-positive.
+pub fn clustered(
+    clusters: usize,
+    per_cluster: usize,
+    cluster_radius: f64,
+    spread: f64,
+    seed: u64,
+) -> Instance {
+    assert!(clusters > 0 && per_cluster > 0, "counts must be positive");
+    assert!(
+        cluster_radius > 0.0 && spread > 0.0,
+        "radii must be positive"
+    );
+    let mut r = rng(seed);
+    let mut pts = Vec::new();
+    let mut centers = Vec::new();
+    for c in 0..clusters {
+        let a = std::f64::consts::TAU * c as f64 / clusters as f64;
+        let d = spread * (0.5 + 0.5 * (c as f64 + 1.0) / clusters as f64);
+        centers.push(Point::new(d * a.cos(), d * a.sin()));
+    }
+    for &center in &centers {
+        for _ in 0..per_cluster {
+            let dx: f64 = r.gen_range(-cluster_radius..=cluster_radius);
+            let dy: f64 = r.gen_range(-cluster_radius..=cluster_radius);
+            let p = center + Point::new(dx, dy);
+            if p.norm() > 1e-6 {
+                pts.push(p);
+            }
+        }
+        // Chain the cluster centre back to the source with links every
+        // cluster_radius, keeping the instance connected at threshold
+        // O(cluster_radius).
+        let links = (center.norm() / cluster_radius).ceil() as usize;
+        for k in 1..links {
+            let p = Point::ORIGIN.lerp(center, k as f64 / links as f64);
+            if p.norm() > 1e-6 {
+                pts.push(p);
+            }
+        }
+    }
+    Instance::new(pts)
+}
+
+/// Two dense blobs of `per_cluster` robots at distance `gap`, joined by a
+/// sparse chain with link distance `chain_spacing`; the connectivity
+/// threshold is governed by the chain, the radius by the far blob.
+///
+/// # Panics
+///
+/// Panics if counts are zero or distances non-positive.
+pub fn two_clusters_bridge(
+    per_cluster: usize,
+    cluster_radius: f64,
+    gap: f64,
+    chain_spacing: f64,
+    seed: u64,
+) -> Instance {
+    assert!(per_cluster > 0, "counts must be positive");
+    assert!(
+        cluster_radius > 0.0 && gap > 0.0 && chain_spacing > 0.0,
+        "distances must be positive"
+    );
+    let mut r = rng(seed);
+    let mut pts = Vec::new();
+    let far = Point::new(gap, 0.0);
+    for center in [Point::new(cluster_radius, 0.0), far] {
+        for _ in 0..per_cluster {
+            let dx: f64 = r.gen_range(-cluster_radius..=cluster_radius);
+            let dy: f64 = r.gen_range(-cluster_radius..=cluster_radius);
+            let p = center + Point::new(dx, dy);
+            if p.norm() > 1e-6 {
+                pts.push(p);
+            }
+        }
+    }
+    let links = (gap / chain_spacing).ceil() as usize;
+    for k in 1..links {
+        pts.push(Point::ORIGIN.lerp(far, k as f64 / links as f64));
+    }
+    Instance::new(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_disk_is_reproducible_and_bounded() {
+        let a = uniform_disk(40, 8.0, 3);
+        let b = uniform_disk(40, 8.0, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.n(), 40);
+        for p in a.positions() {
+            assert!(p.norm() <= 8.0 + 1e-9);
+        }
+        let c = uniform_disk(40, 8.0, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lattice_threshold_equals_spacing() {
+        let inst = grid_lattice(4, 5, 2.0);
+        assert_eq!(inst.n(), 20);
+        let p = inst.params(None);
+        assert!((p.ell_star - 2.0).abs() < 1e-9, "got {}", p.ell_star);
+    }
+
+    #[test]
+    fn snake_has_large_eccentricity_ratio() {
+        let inst = snake(6, 30.0, 2.0, 1.0);
+        let p = inst.params(None);
+        let xi = p.xi_ell.expect("snake connected at ell*");
+        // Six 30-long legs: path length ~190, radius ~32.
+        assert!(
+            xi > 2.0 * p.rho_star,
+            "xi={xi} rho={} not serpentine enough",
+            p.rho_star
+        );
+        assert!(p.ell_star <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ring_is_connected_at_moderate_threshold() {
+        let inst = ring(36, 10.0, 1.0, 5);
+        let p = inst.params(None);
+        assert!(p.xi_ell.is_some());
+        assert!(p.ell_star <= 2.0, "ell* = {}", p.ell_star);
+        assert!((p.rho_star - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clustered_is_connected() {
+        let inst = clustered(4, 15, 1.5, 20.0, 11);
+        let p = inst.params(None);
+        assert!(p.xi_ell.is_some(), "clusters must be chained to source");
+        assert!(inst.n() >= 60);
+    }
+
+    #[test]
+    fn bridge_threshold_is_chain_spacing() {
+        let inst = two_clusters_bridge(20, 1.0, 30.0, 2.0, 9);
+        let p = inst.params(None);
+        assert!(p.ell_star <= 2.0 + 1e-6, "ell* = {}", p.ell_star);
+        assert!(p.rho_star >= 29.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_robots_rejected() {
+        let _ = uniform_disk(0, 5.0, 1);
+    }
+}

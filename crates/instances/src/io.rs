@@ -1,0 +1,162 @@
+//! Plain-text (CSV) import/export of instances — lets downstream users run
+//! the algorithms on their own swarm layouts and archive generated ones,
+//! without pulling in a serialization framework.
+//!
+//! Format: one `x,y` pair per line; the first line is the source position,
+//! every following line a sleeping robot. `#`-prefixed lines and blank
+//! lines are ignored.
+
+use crate::Instance;
+use freezetag_geometry::Point;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing an instance from CSV text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseInstanceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseInstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseInstanceError {}
+
+/// Serializes an instance to CSV (source first).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_instances::{io, Instance};
+///
+/// let inst = Instance::new(vec![Point::new(1.0, 2.0)]);
+/// let text = io::to_csv(&inst);
+/// let back = io::from_csv(&text).unwrap();
+/// assert_eq!(inst, back);
+/// ```
+pub fn to_csv(instance: &Instance) -> String {
+    let mut out = String::from("# freezetag instance: source first, robots follow\n");
+    let s = instance.source();
+    out.push_str(&format!("{},{}\n", s.x, s.y));
+    for p in instance.positions() {
+        out.push_str(&format!("{},{}\n", p.x, p.y));
+    }
+    out
+}
+
+/// Parses an instance from CSV text (inverse of [`to_csv`]).
+///
+/// # Errors
+///
+/// Returns [`ParseInstanceError`] on malformed lines, non-finite
+/// coordinates, an empty file, or a robot placed exactly on the source.
+pub fn from_csv(text: &str) -> Result<Instance, ParseInstanceError> {
+    let mut points: Vec<(usize, Point)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parse = |s: Option<&str>, what: &str| -> Result<f64, ParseInstanceError> {
+            s.map(str::trim)
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| ParseInstanceError {
+                    line: i + 1,
+                    message: format!("missing {what} coordinate"),
+                })?
+                .parse::<f64>()
+                .map_err(|e| ParseInstanceError {
+                    line: i + 1,
+                    message: format!("bad {what} coordinate: {e}"),
+                })
+        };
+        let x = parse(parts.next(), "x")?;
+        let y = parse(parts.next(), "y")?;
+        if parts.next().is_some() {
+            return Err(ParseInstanceError {
+                line: i + 1,
+                message: "expected exactly two comma-separated values".into(),
+            });
+        }
+        let p = Point::new(x, y);
+        if !p.is_finite() {
+            return Err(ParseInstanceError {
+                line: i + 1,
+                message: "coordinates must be finite".into(),
+            });
+        }
+        points.push((i + 1, p));
+    }
+    let Some(&(_, source)) = points.first() else {
+        return Err(ParseInstanceError {
+            line: 0,
+            message: "no points found".into(),
+        });
+    };
+    let positions: Vec<Point> = points[1..].iter().map(|&(_, p)| p).collect();
+    for &(line, p) in &points[1..] {
+        if p.dist(source) <= freezetag_geometry::EPS {
+            return Err(ParseInstanceError {
+                line,
+                message: "robot coincides with the source (s ∉ P required)".into(),
+            });
+        }
+    }
+    Ok(Instance::with_source(source, positions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_disk;
+
+    #[test]
+    fn round_trip_preserves_instances() {
+        let inst = uniform_disk(25, 7.0, 99);
+        let back = from_csv(&to_csv(&inst)).expect("round trip");
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n0,0\n# robot below\n1.5,2.5\n";
+        let inst = from_csv(text).unwrap();
+        assert_eq!(inst.n(), 1);
+        assert_eq!(inst.positions()[0], Point::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn custom_source_positions_survive() {
+        let inst = Instance::with_source(Point::new(3.0, -1.0), vec![Point::new(4.0, 0.0)]);
+        let back = from_csv(&to_csv(&inst)).unwrap();
+        assert_eq!(back.source(), Point::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = from_csv("0,0\nabc,2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bad x"));
+        let err = from_csv("0,0\n1\n").unwrap_err();
+        assert!(err.message.contains("missing y"));
+        let err = from_csv("0,0\n1,2,3\n").unwrap_err();
+        assert!(err.message.contains("exactly two"));
+        let err = from_csv("").unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn source_collision_is_reported_with_line() {
+        let err = from_csv("1,1\n1,1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("source"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Instances of the distributed Freeze Tag Problem: point sets with a
+//! source, exact parameter computation, reproducible generators, and the
+//! paper's lower-bound constructions.
+//!
+//! An [`Instance`] is the static data of a dFTP run: the source position
+//! and the initial positions `P` of the sleeping robots. The three
+//! complexity parameters `(ρ*, ℓ*, ξ_ℓ)` are computed exactly through
+//! `freezetag-graph`, and [`Instance::admissible_tuple`] derives the
+//! `(ℓ, ρ, n)` input handed to the distributed algorithms (Definition 1 of
+//! the paper).
+//!
+//! The [`generators`] module builds reproducible workloads (uniform disks,
+//! clusters, lattices, snakes with large eccentricity, …); the
+//! [`adversarial`] module builds the *adaptive* lower-bound layouts of
+//! Theorems 2 and 3 (the actual adversary lives in `freezetag-sim`, which
+//! owns the sensing interface); [`path_construction`] builds the explicit
+//! rectilinear instances of Theorem 6.
+//!
+//! # Example
+//!
+//! ```
+//! use freezetag_instances::generators::uniform_disk;
+//!
+//! let inst = uniform_disk(50, 10.0, 7);
+//! assert_eq!(inst.n(), 50);
+//! let t = inst.admissible_tuple();
+//! assert!(t.ell <= t.rho && t.rho <= t.n as f64 * t.ell);
+//! ```
+
+pub mod adversarial;
+pub mod generators;
+mod instance;
+pub mod io;
+pub mod path_construction;
+
+pub use instance::{AdmissibleTuple, Instance};

@@ -1,0 +1,111 @@
+use crate::RobotId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation substrate.
+///
+/// Most misuse (moving a robot that is asleep, waking an awake robot,
+/// waking from afar) indicates an algorithm bug, so the high-level [`crate::Sim`]
+/// driver panics on them; `SimError` is the non-panicking variant used by
+/// the validator and the world implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The robot is still asleep at the requested time.
+    Asleep(RobotId),
+    /// The robot was already awake when a wake was attempted.
+    AlreadyAwake(RobotId),
+    /// A wake was attempted from a position not co-located with the target.
+    NotColocated {
+        /// The robot attempting the wake.
+        waker: RobotId,
+        /// The sleeping robot.
+        target: RobotId,
+        /// Distance between the two at the moment of the attempt.
+        distance: f64,
+    },
+    /// A wake was attempted on a robot whose position the algorithm has
+    /// never observed (adversarial worlds pin positions only on discovery).
+    Undiscovered(RobotId),
+    /// A timeline violated the model (speed, continuity, start conditions);
+    /// the payload describes the violation.
+    InvalidTimeline(String),
+    /// A robot exceeded its energy budget.
+    EnergyExceeded {
+        /// The offending robot.
+        robot: RobotId,
+        /// Energy actually spent.
+        spent: f64,
+        /// The budget it was given.
+        budget: f64,
+    },
+    /// Not every robot was awake at the end of the run.
+    NotAllAwake {
+        /// Number of robots still asleep.
+        asleep: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Asleep(r) => write!(f, "robot {r} is asleep"),
+            SimError::AlreadyAwake(r) => write!(f, "robot {r} is already awake"),
+            SimError::NotColocated {
+                waker,
+                target,
+                distance,
+            } => write!(
+                f,
+                "robot {waker} tried to wake {target} from distance {distance:.6}"
+            ),
+            SimError::Undiscovered(r) => {
+                write!(f, "robot {r} has not been discovered yet")
+            }
+            SimError::InvalidTimeline(msg) => write!(f, "invalid timeline: {msg}"),
+            SimError::EnergyExceeded {
+                robot,
+                spent,
+                budget,
+            } => write!(
+                f,
+                "robot {robot} spent {spent:.3} exceeding budget {budget:.3}"
+            ),
+            SimError::NotAllAwake { asleep } => {
+                write!(f, "{asleep} robots still asleep at termination")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs = [
+            SimError::Asleep(RobotId::SOURCE),
+            SimError::AlreadyAwake(RobotId::sleeper(0)),
+            SimError::NotColocated {
+                waker: RobotId::SOURCE,
+                target: RobotId::sleeper(1),
+                distance: 2.0,
+            },
+            SimError::Undiscovered(RobotId::sleeper(2)),
+            SimError::InvalidTimeline("gap".into()),
+            SimError::EnergyExceeded {
+                robot: RobotId::sleeper(3),
+                spent: 10.0,
+                budget: 5.0,
+            },
+            SimError::NotAllAwake { asleep: 4 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase());
+        }
+    }
+}

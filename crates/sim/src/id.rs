@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Identifier of a robot in a simulation.
+///
+/// Index 0 is the source `s`; index `i + 1` is the initially-sleeping robot
+/// whose position is `instance.positions()[i]`. The paper notes robots can
+/// name themselves by their initial position once awake; a dense index is
+/// the simulation equivalent.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_sim::RobotId;
+/// assert!(RobotId::SOURCE.is_source());
+/// let r = RobotId::sleeper(3);
+/// assert_eq!(r.index(), 4);
+/// assert_eq!(r.sleeper_index(), Some(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RobotId(usize);
+
+impl RobotId {
+    /// The source robot `s`.
+    pub const SOURCE: RobotId = RobotId(0);
+
+    /// The id of the `i`-th initially-sleeping robot (0-based).
+    pub const fn sleeper(i: usize) -> RobotId {
+        RobotId(i + 1)
+    }
+
+    /// Constructs from a dense index (0 = source).
+    pub const fn from_index(i: usize) -> RobotId {
+        RobotId(i)
+    }
+
+    /// Dense index (0 = source).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the source.
+    pub const fn is_source(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The sleeping-robot index, or `None` for the source.
+    pub const fn sleeper_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for RobotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_source() {
+            write!(f, "s")
+        } else {
+            write!(f, "r{}", self.0 - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_and_sleepers() {
+        assert!(RobotId::SOURCE.is_source());
+        assert_eq!(RobotId::SOURCE.sleeper_index(), None);
+        assert_eq!(RobotId::sleeper(0).index(), 1);
+        assert_eq!(RobotId::sleeper(5).sleeper_index(), Some(5));
+        assert_eq!(RobotId::from_index(3), RobotId::sleeper(2));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(RobotId::SOURCE < RobotId::sleeper(0));
+        assert!(RobotId::sleeper(1) < RobotId::sleeper(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", RobotId::SOURCE), "s");
+        assert_eq!(format!("{}", RobotId::sleeper(7)), "r7");
+    }
+}

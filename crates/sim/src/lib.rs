@@ -1,0 +1,59 @@
+//! Continuous-time Look-Compute-Move simulation substrate for the
+//! distributed Freeze Tag Problem.
+//!
+//! The paper's model (Section 1.2): awake robots move at unit speed, take
+//! *discrete* snapshots that reveal robots within Euclidean distance 1,
+//! wake a sleeping robot by co-location, share memory only when co-located,
+//! and know a global clock and coordinate system. Moving a distance δ takes
+//! δ time and δ energy.
+//!
+//! This crate enforces that model through three layers:
+//!
+//! 1. **Sensing** — the [`WorldView`] trait is the *only* channel through
+//!    which an algorithm learns robot positions. [`ConcreteWorld`] serves a
+//!    fixed instance; [`AdversarialWorld`] plays the adaptive adversary of
+//!    Theorems 2 and 3 (robots are pinned to the last explored cell of
+//!    their disk).
+//! 2. **Scheduling** — a [`Sim`] driver records every move/wait into
+//!    per-robot [`Timeline`]s, tracking time and energy exactly.
+//! 3. **Validation** — [`validate`] independently re-checks a finished
+//!    [`Schedule`]: timeline continuity, unit speed, motion only after
+//!    wake-up, wake co-location, full coverage, energy budgets.
+//!
+//! # Example
+//!
+//! ```
+//! use freezetag_geometry::Point;
+//! use freezetag_instances::Instance;
+//! use freezetag_sim::{ConcreteWorld, RobotId, Sim, WorldView};
+//!
+//! let inst = Instance::new(vec![Point::new(0.5, 0.0)]);
+//! let mut sim = Sim::new(ConcreteWorld::new(&inst));
+//! let seen = sim.look(RobotId::SOURCE);
+//! assert_eq!(seen.len(), 1);
+//! sim.move_to(RobotId::SOURCE, seen[0].pos);
+//! let woken = sim.wake(RobotId::SOURCE, seen[0].id);
+//! assert_eq!(woken, seen[0].id);
+//! assert!(sim.world().all_awake());
+//! ```
+
+mod adversary;
+mod error;
+pub mod events;
+mod id;
+mod schedule;
+#[allow(clippy::module_inception)]
+mod sim;
+pub mod svg;
+mod trace;
+mod validate;
+mod world;
+
+pub use adversary::AdversarialWorld;
+pub use error::SimError;
+pub use id::RobotId;
+pub use schedule::{Schedule, Segment, Timeline, WakeEvent};
+pub use sim::Sim;
+pub use trace::{Trace, TraceSpan};
+pub use validate::{validate, ValidationOptions, ValidationReport};
+pub use world::{ConcreteWorld, Sighting, WorldView};

@@ -1,0 +1,254 @@
+use crate::{RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView};
+use freezetag_geometry::Point;
+
+/// The simulation driver: couples a [`WorldView`] (restricted sensing) with
+/// a [`Schedule`] (exact time/energy accounting).
+///
+/// Algorithms manipulate robots exclusively through this API:
+/// [`Sim::move_to`], [`Sim::wait_until`], [`Sim::look`] and [`Sim::wake`].
+/// Misuse — moving a sleeping robot, waking from a distance, waking an
+/// already-awake robot — panics immediately: those are algorithm bugs, not
+/// recoverable conditions.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_instances::Instance;
+/// use freezetag_sim::{ConcreteWorld, RobotId, Sim};
+///
+/// let inst = Instance::new(vec![Point::new(2.0, 0.0)]);
+/// let mut sim = Sim::new(ConcreteWorld::new(&inst));
+/// sim.move_to(RobotId::SOURCE, Point::new(2.0, 0.0));
+/// assert_eq!(sim.time(RobotId::SOURCE), 2.0);
+/// ```
+#[derive(Debug)]
+pub struct Sim<W> {
+    world: W,
+    schedule: Schedule,
+    trace: Trace,
+}
+
+impl<W: WorldView> Sim<W> {
+    /// Starts a simulation at time 0 with only the source awake, at the
+    /// world's source position.
+    pub fn new(world: W) -> Self {
+        let mut schedule = Schedule::new(world.n());
+        schedule.activate(RobotId::SOURCE, 0.0, world.source_pos());
+        Sim {
+            world,
+            schedule,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// The schedule recorded so far.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The phase trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the phase trace (algorithms annotate spans).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Consumes the simulation, returning `(world, schedule, trace)`.
+    pub fn into_parts(self) -> (W, Schedule, Trace) {
+        (self.world, self.schedule, self.trace)
+    }
+
+    /// Current time of an awake robot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep.
+    pub fn time(&self, robot: RobotId) -> f64 {
+        self.schedule
+            .timeline(robot)
+            .expect("robot is asleep")
+            .current_time()
+    }
+
+    /// Current position of an awake robot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep.
+    pub fn pos(&self, robot: RobotId) -> Point {
+        self.schedule
+            .timeline(robot)
+            .expect("robot is asleep")
+            .current_pos()
+    }
+
+    /// Moves an awake robot in a straight line at unit speed; returns the
+    /// arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep.
+    pub fn move_to(&mut self, robot: RobotId, dest: Point) -> f64 {
+        self.schedule.timeline_mut(robot).move_to(dest)
+    }
+
+    /// Makes an awake robot wait (at its position) until absolute time `t`;
+    /// times in the past are a no-op so barrier joins are painless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep.
+    pub fn wait_until(&mut self, robot: RobotId, t: f64) {
+        self.schedule.timeline_mut(robot).wait_until(t);
+    }
+
+    /// Takes a snapshot from the robot's current position at its current
+    /// time: sleeping robots within Euclidean distance 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep.
+    pub fn look(&mut self, robot: RobotId) -> Vec<Sighting> {
+        let tl = self.schedule.timeline(robot).expect("robot is asleep");
+        let (pos, time) = (tl.current_pos(), tl.current_time());
+        self.world.look(pos, time)
+    }
+
+    /// Wakes `target`, which must be co-located with `waker` (within
+    /// `EPS`). The woken robot's timeline starts at the waker's current
+    /// time at the target's initial position. Returns `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waker` is asleep, `target` is already awake, `target`'s
+    /// position is unknown to the world, or the two are not co-located —
+    /// all of which are algorithm bugs.
+    pub fn wake(&mut self, waker: RobotId, target: RobotId) -> RobotId {
+        let tl = self.schedule.timeline(waker).expect("waker is asleep");
+        let (wpos, time) = (tl.current_pos(), tl.current_time());
+        let tpos = self
+            .world
+            .position(target)
+            .unwrap_or_else(|| panic!("waking undiscovered robot {target}"));
+        let d = wpos.dist(tpos);
+        assert!(
+            d <= 1e-6,
+            "robot {waker} tried to wake {target} from distance {d}"
+        );
+        self.world
+            .wake(target, time)
+            .unwrap_or_else(|e| panic!("wake failed: {e}"));
+        self.schedule.activate(target, time, tpos);
+        self.schedule.record_wake(WakeEvent {
+            waker,
+            target,
+            time,
+            pos: tpos,
+        });
+        target
+    }
+
+    /// Synchronizes a group of awake robots to their common latest time;
+    /// returns that barrier time. This is how co-located teams realize the
+    /// paper's "wait until the four teams can merge".
+    ///
+    /// # Panics
+    ///
+    /// Panics if any robot is asleep or `robots` is empty.
+    pub fn barrier(&mut self, robots: &[RobotId]) -> f64 {
+        assert!(!robots.is_empty(), "empty barrier");
+        let t = robots
+            .iter()
+            .map(|&r| self.time(r))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for &r in robots {
+            self.wait_until(r, t);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConcreteWorld;
+    use freezetag_instances::Instance;
+
+    fn sim() -> Sim<ConcreteWorld> {
+        let inst = Instance::new(vec![
+            Point::new(0.5, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+        ]);
+        Sim::new(ConcreteWorld::new(&inst))
+    }
+
+    #[test]
+    fn source_starts_at_origin_time_zero() {
+        let s = sim();
+        assert_eq!(s.time(RobotId::SOURCE), 0.0);
+        assert_eq!(s.pos(RobotId::SOURCE), Point::ORIGIN);
+    }
+
+    #[test]
+    fn wake_chain() {
+        let mut s = sim();
+        let seen = s.look(RobotId::SOURCE);
+        assert_eq!(seen.len(), 2);
+        s.move_to(RobotId::SOURCE, seen[0].pos);
+        let r0 = s.wake(RobotId::SOURCE, seen[0].id);
+        assert_eq!(s.time(r0), 0.5);
+        assert_eq!(s.pos(r0), Point::new(0.5, 0.0));
+        // The woken robot can now act on its own.
+        s.move_to(r0, Point::new(1.0, 0.0));
+        s.wake(r0, RobotId::sleeper(1));
+        assert_eq!(s.schedule().wakes().len(), 2);
+        assert_eq!(s.schedule().makespan(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn waking_from_afar_panics() {
+        let mut s = sim();
+        s.wake(RobotId::SOURCE, RobotId::sleeper(2)); // 5 units away
+    }
+
+    #[test]
+    #[should_panic]
+    fn moving_sleeping_robot_panics() {
+        let mut s = sim();
+        s.move_to(RobotId::sleeper(0), Point::ORIGIN);
+    }
+
+    #[test]
+    fn barrier_aligns_times() {
+        let mut s = sim();
+        s.move_to(RobotId::SOURCE, Point::new(0.5, 0.0));
+        let r0 = s.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        s.move_to(r0, Point::new(1.0, 0.0));
+        let r1 = s.wake(r0, RobotId::sleeper(1));
+        s.move_to(r1, Point::new(3.0, 0.0));
+        let t = s.barrier(&[RobotId::SOURCE, r0, r1]);
+        assert_eq!(t, 3.0);
+        assert_eq!(s.time(RobotId::SOURCE), 3.0);
+        assert_eq!(s.time(r0), 3.0);
+    }
+
+    #[test]
+    fn look_is_at_current_position() {
+        let mut s = sim();
+        s.move_to(RobotId::SOURCE, Point::new(4.5, 0.0));
+        let seen = s.look(RobotId::SOURCE);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].id, RobotId::sleeper(2));
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal SVG rendering of runs — regenerates the paper's schematic
+//! figures (trajectories, separators, lower-bound constructions) without
+//! external dependencies.
+
+use crate::{Schedule, Timeline};
+use freezetag_geometry::{Point, Rect};
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Margin around the drawing, in world units.
+    pub margin: f64,
+    /// Radius of position markers, in world units.
+    pub marker: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width_px: 900.0,
+            margin: 2.0,
+            marker: 0.18,
+        }
+    }
+}
+
+struct Canvas {
+    body: String,
+    view: Rect,
+    scale: f64,
+}
+
+impl Canvas {
+    fn new(view: Rect, opts: &SvgOptions) -> Self {
+        let view = Rect::from_corners(
+            view.min() - Point::new(opts.margin, opts.margin),
+            view.max() + Point::new(opts.margin, opts.margin),
+        );
+        let scale = opts.width_px / view.width().max(1e-9);
+        Canvas {
+            body: String::new(),
+            view,
+            scale,
+        }
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        // SVG y grows downward.
+        (
+            (p.x - self.view.min().x) * self.scale,
+            (self.view.max().y - p.y) * self.scale,
+        )
+    }
+
+    fn circle(&mut self, c: Point, r: f64, fill: &str, stroke: &str) {
+        let (x, y) = self.tx(c);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{:.2}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#,
+            r * self.scale
+        );
+    }
+
+    fn rect(&mut self, r: &Rect, stroke: &str, dash: bool) {
+        let (x, y) = self.tx(Point::new(r.min().x, r.max().y));
+        let dash_attr = if dash {
+            r#" stroke-dasharray="6,4""#
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{:.2}" height="{:.2}" fill="none" stroke="{stroke}" stroke-width="1"{dash_attr}/>"#,
+            r.width() * self.scale,
+            r.height() * self.scale
+        );
+    }
+
+    fn polyline(&mut self, pts: impl Iterator<Item = Point>, stroke: &str, width: f64) {
+        let coords: Vec<String> = pts
+            .map(|p| {
+                let (x, y) = self.tx(p);
+                format!("{x:.2},{y:.2}")
+            })
+            .collect();
+        if coords.len() < 2 {
+            return;
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}" stroke-opacity="0.7"/>"#,
+            coords.join(" ")
+        );
+    }
+
+    fn finish(self, opts: &SvgOptions) -> String {
+        let h = self.view.height() * self.scale;
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{h:.0}\" \
+             viewBox=\"0 0 {:.0} {h:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            opts.width_px, opts.width_px, self.body
+        )
+    }
+}
+
+fn palette(i: usize) -> String {
+    // Evenly spaced hues; fixed saturation/lightness.
+    format!("hsl({}, 70%, 45%)", (i * 47) % 360)
+}
+
+/// Renders an instance plus (optionally) the trajectories of a finished
+/// run. `highlight_rects` are drawn dashed — pass sub-squares or
+/// separator rectangles to reproduce the phase figures.
+pub fn render_run(
+    source: Point,
+    positions: &[Point],
+    schedule: Option<&Schedule>,
+    highlight_rects: &[Rect],
+    opts: &SvgOptions,
+) -> String {
+    let mut all = vec![source];
+    all.extend_from_slice(positions);
+    if let Some(s) = schedule {
+        for tl in s.timelines() {
+            all.extend(tl.segments().iter().map(|seg| seg.to));
+        }
+    }
+    for r in highlight_rects {
+        all.push(r.min());
+        all.push(r.max());
+    }
+    let view = Rect::bounding(all.iter().copied()).unwrap_or(Rect::with_size(source, 1.0, 1.0));
+    let mut canvas = Canvas::new(view, opts);
+    for r in highlight_rects {
+        canvas.rect(r, "#888", true);
+    }
+    if let Some(s) = schedule {
+        for (i, tl) in s.timelines().enumerate() {
+            let color = palette(i);
+            render_timeline(&mut canvas, tl, &color);
+        }
+    }
+    for p in positions {
+        canvas.circle(*p, opts.marker, "#444", "#000");
+    }
+    canvas.circle(source, opts.marker * 1.5, "#d22", "#800");
+    canvas.finish(opts)
+}
+
+fn render_timeline(canvas: &mut Canvas, tl: &Timeline, color: &str) {
+    let pts = std::iter::once(tl.start_pos()).chain(tl.segments().iter().map(|s| s.to));
+    canvas.polyline(pts, color, 1.2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcreteWorld, RobotId, Sim};
+    use freezetag_instances::Instance;
+
+    #[test]
+    fn renders_instance_only() {
+        let svg = render_run(
+            Point::ORIGIN,
+            &[Point::new(1.0, 1.0), Point::new(-2.0, 0.5)],
+            None,
+            &[],
+            &SvgOptions::default(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn renders_run_with_trajectories_and_rects() {
+        let inst = Instance::new(vec![Point::new(1.0, 0.0)]);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(1.0, 0.0));
+        sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        let (_, schedule, _) = sim.into_parts();
+        let rects = [Rect::with_size(Point::new(-1.0, -1.0), 3.0, 3.0)];
+        let svg = render_run(
+            Point::ORIGIN,
+            inst.positions(),
+            Some(&schedule),
+            &rects,
+            &SvgOptions::default(),
+        );
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn degenerate_view_does_not_panic() {
+        let svg = render_run(Point::ORIGIN, &[], None, &[], &SvgOptions::default());
+        assert!(svg.contains("<svg"));
+    }
+}

@@ -1,0 +1,310 @@
+use crate::{RobotId, Schedule, SimError};
+use freezetag_geometry::Point;
+
+/// Tolerances and requirements for schedule validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationOptions {
+    /// Per-robot energy budget `B`, if the run claims one.
+    pub energy_budget: Option<f64>,
+    /// Require every robot to be awake at the end.
+    pub require_all_awake: bool,
+    /// Absolute tolerance on positions/times/speed (float slack).
+    pub tolerance: f64,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            energy_budget: None,
+            require_all_awake: true,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Summary of a successfully validated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationReport {
+    /// Time the last robot was woken (the paper's makespan).
+    pub makespan: f64,
+    /// Time the last robot stopped moving/waiting.
+    pub completion_time: f64,
+    /// Largest per-robot travel distance (worst-case energy).
+    pub max_energy: f64,
+    /// Total travel distance of the swarm.
+    pub total_energy: f64,
+    /// Robots awake at the end (including the source).
+    pub robots_awake: usize,
+    /// Number of wake events.
+    pub wake_count: usize,
+}
+
+/// Independently re-checks a finished [`Schedule`] against the model of
+/// Section 1.2:
+///
+/// * the source starts at time 0 at `source`;
+/// * every timeline is contiguous in time and space, and every segment
+///   respects unit speed (`length ≤ duration + tol`);
+/// * every non-source timeline is introduced by exactly one wake event, at
+///   the robot's initial position, performed by a robot that was awake and
+///   co-located at that moment;
+/// * (optional) every robot is awake at the end;
+/// * (optional) every robot's travel is within the energy budget.
+///
+/// `initial_positions[i]` must be the initial position of
+/// `RobotId::sleeper(i)` — for adversarial worlds, the positions revealed
+/// at the end of the run.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] found; the schedule is only trusted when
+/// the result is `Ok`.
+pub fn validate(
+    schedule: &Schedule,
+    source: Point,
+    initial_positions: &[Point],
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, SimError> {
+    let tol = opts.tolerance;
+    let n = initial_positions.len();
+
+    // --- source timeline -------------------------------------------------
+    let src = schedule
+        .timeline(RobotId::SOURCE)
+        .ok_or_else(|| SimError::InvalidTimeline("source has no timeline".into()))?;
+    if src.start_time() != 0.0 {
+        return Err(SimError::InvalidTimeline(format!(
+            "source starts at t={} instead of 0",
+            src.start_time()
+        )));
+    }
+    if src.start_pos().dist(source) > tol {
+        return Err(SimError::InvalidTimeline(
+            "source timeline does not start at the source position".into(),
+        ));
+    }
+
+    // --- per-timeline kinematics -----------------------------------------
+    for tl in schedule.timelines() {
+        let mut t = tl.start_time();
+        let mut pos = tl.start_pos();
+        if let Some(i) = tl.robot().sleeper_index() {
+            let expect = initial_positions[i];
+            if pos.dist(expect) > tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {} starts at {} instead of its initial position {}",
+                    tl.robot(),
+                    pos,
+                    expect
+                )));
+            }
+        }
+        for (k, s) in tl.segments().iter().enumerate() {
+            if (s.start_time - t).abs() > tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {} segment {k} starts at {} expected {}",
+                    tl.robot(),
+                    s.start_time,
+                    t
+                )));
+            }
+            if s.from.dist(pos) > tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {} segment {k} teleports from {} to {}",
+                    tl.robot(),
+                    pos,
+                    s.from
+                )));
+            }
+            if s.end_time < s.start_time - tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {} segment {k} goes back in time",
+                    tl.robot()
+                )));
+            }
+            if s.length() > s.duration() + tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {} segment {k} exceeds unit speed: length {} in {}",
+                    tl.robot(),
+                    s.length(),
+                    s.duration()
+                )));
+            }
+            t = s.end_time;
+            pos = s.to;
+        }
+    }
+
+    // --- wake events -------------------------------------------------------
+    let mut woken = vec![false; n];
+    for (k, w) in schedule.wakes().iter().enumerate() {
+        let i = w.target.sleeper_index().ok_or_else(|| {
+            SimError::InvalidTimeline(format!("wake event {k} targets the source"))
+        })?;
+        if woken[i] {
+            return Err(SimError::AlreadyAwake(w.target));
+        }
+        woken[i] = true;
+        if w.pos.dist(initial_positions[i]) > tol {
+            return Err(SimError::InvalidTimeline(format!(
+                "wake event {k}: position {} is not {}'s initial position",
+                w.pos, w.target
+            )));
+        }
+        let target_tl = schedule.timeline(w.target).ok_or_else(|| {
+            SimError::InvalidTimeline(format!("woken robot {} has no timeline", w.target))
+        })?;
+        if (target_tl.start_time() - w.time).abs() > tol {
+            return Err(SimError::InvalidTimeline(format!(
+                "robot {} timeline starts at {} but was woken at {}",
+                w.target,
+                target_tl.start_time(),
+                w.time
+            )));
+        }
+        let waker_tl = schedule
+            .timeline(w.waker)
+            .ok_or(SimError::Asleep(w.waker))?;
+        if waker_tl.start_time() > w.time + tol {
+            return Err(SimError::Asleep(w.waker));
+        }
+        let wp = waker_tl.position_at(w.time);
+        let d = wp.dist(w.pos);
+        if d > tol {
+            return Err(SimError::NotColocated {
+                waker: w.waker,
+                target: w.target,
+                distance: d,
+            });
+        }
+    }
+    // Every non-source timeline must correspond to a wake event.
+    for tl in schedule.timelines() {
+        if let Some(i) = tl.robot().sleeper_index() {
+            if !woken[i] {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {} has a timeline but no wake event",
+                    tl.robot()
+                )));
+            }
+        }
+    }
+
+    // --- coverage ----------------------------------------------------------
+    let awake = schedule.active_count();
+    if opts.require_all_awake && awake != n + 1 {
+        return Err(SimError::NotAllAwake {
+            asleep: n + 1 - awake,
+        });
+    }
+
+    // --- energy ------------------------------------------------------------
+    if let Some(budget) = opts.energy_budget {
+        for tl in schedule.timelines() {
+            let spent = tl.travel();
+            if spent > budget + tol {
+                return Err(SimError::EnergyExceeded {
+                    robot: tl.robot(),
+                    spent,
+                    budget,
+                });
+            }
+        }
+    }
+
+    Ok(ValidationReport {
+        makespan: schedule.makespan(),
+        completion_time: schedule.completion_time(),
+        max_energy: schedule.max_energy(),
+        total_energy: schedule.total_energy(),
+        robots_awake: awake,
+        wake_count: schedule.wakes().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcreteWorld, Sim};
+    use freezetag_instances::Instance;
+
+    fn run_two_robot_chain() -> (Schedule, Vec<Point>) {
+        let inst = Instance::new(vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)]);
+        let positions = inst.positions().to_vec();
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(1.0, 0.0));
+        let r0 = sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        sim.move_to(r0, Point::new(2.0, 0.0));
+        sim.wake(r0, RobotId::sleeper(1));
+        let (_, schedule, _) = sim.into_parts();
+        (schedule, positions)
+    }
+
+    #[test]
+    fn valid_run_passes() {
+        let (schedule, positions) = run_two_robot_chain();
+        let rep = validate(
+            &schedule,
+            Point::ORIGIN,
+            &positions,
+            &ValidationOptions::default(),
+        )
+        .expect("valid run");
+        assert_eq!(rep.wake_count, 2);
+        assert_eq!(rep.robots_awake, 3);
+        assert!((rep.makespan - 2.0).abs() < 1e-9);
+        assert!((rep.max_energy - 1.0).abs() < 1e-9);
+        assert!((rep.total_energy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_budget_is_enforced() {
+        let (schedule, positions) = run_two_robot_chain();
+        let opts = ValidationOptions {
+            energy_budget: Some(0.5),
+            ..Default::default()
+        };
+        let err = validate(&schedule, Point::ORIGIN, &positions, &opts).unwrap_err();
+        assert!(matches!(err, SimError::EnergyExceeded { .. }));
+    }
+
+    #[test]
+    fn incomplete_run_fails_when_required() {
+        let inst = Instance::new(vec![Point::new(1.0, 0.0), Point::new(9.0, 0.0)]);
+        let mut sim = Sim::new(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(1.0, 0.0));
+        sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        let (_, schedule, _) = sim.into_parts();
+        let err = validate(
+            &schedule,
+            Point::ORIGIN,
+            inst.positions(),
+            &ValidationOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NotAllAwake { asleep: 1 });
+        // Relaxing the requirement lets it pass.
+        let opts = ValidationOptions {
+            require_all_awake: false,
+            ..Default::default()
+        };
+        assert!(validate(&schedule, Point::ORIGIN, inst.positions(), &opts).is_ok());
+    }
+
+    #[test]
+    fn tampered_speed_is_caught() {
+        let (mut schedule, positions) = run_two_robot_chain();
+        // Corrupt: teleport the source by appending an impossible segment.
+        schedule
+            .timeline_mut(RobotId::SOURCE)
+            .segments_tamper_for_test();
+        let err = validate(
+            &schedule,
+            Point::ORIGIN,
+            &positions,
+            &ValidationOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidTimeline(_)));
+    }
+}

@@ -1,0 +1,238 @@
+use crate::{RobotId, SimError};
+use freezetag_geometry::Point;
+use freezetag_graph::GridIndex;
+use freezetag_instances::Instance;
+
+/// A robot observed by a `look` snapshot: a *sleeping* robot within
+/// Euclidean distance 1 of the observer, reported at its initial position.
+///
+/// Awake robots are deliberately not reported: the paper's algorithms track
+/// awake teammates through shared memory (co-location exchanges), never
+/// through vision, and a woken robot leaves its initial position anyway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sighting {
+    /// The observed sleeping robot.
+    pub id: RobotId,
+    /// Its (initial) position.
+    pub pos: Point,
+}
+
+/// The restricted sensing interface: the *only* channel through which a
+/// distributed algorithm learns robot positions.
+///
+/// Implementations: [`ConcreteWorld`] (fixed instance) and
+/// [`crate::AdversarialWorld`] (adaptive lower-bound adversary).
+pub trait WorldView {
+    /// Number of initially-sleeping robots `n`.
+    fn n(&self) -> usize;
+
+    /// Position of the source robot.
+    fn source_pos(&self) -> Point;
+
+    /// Snapshot: sleeping robots within Euclidean distance 1 of `from` at
+    /// time `time`, sorted by id. Takes `&mut self` because adversarial
+    /// worlds update their knowledge state on every look.
+    fn look(&mut self, from: Point, time: f64) -> Vec<Sighting>;
+
+    /// Marks `target` awake at `time`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AlreadyAwake`] if it was already awake;
+    /// [`SimError::Undiscovered`] if its position has never been observed
+    /// (adversarial worlds only).
+    fn wake(&mut self, target: RobotId, time: f64) -> Result<(), SimError>;
+
+    /// Whether `target` is awake.
+    fn is_awake(&self, target: RobotId) -> bool;
+
+    /// Wake time of `target` (`Some(0.0)` for the source).
+    fn wake_time(&self, target: RobotId) -> Option<f64>;
+
+    /// Initial position of `target` if known to the world — always known
+    /// for concrete worlds; `None` for adversarial robots not yet pinned.
+    fn position(&self, target: RobotId) -> Option<Point>;
+
+    /// Whether every robot (including the source) is awake.
+    fn all_awake(&self) -> bool {
+        (0..=self.n()).all(|i| self.is_awake(RobotId::from_index(i)))
+    }
+
+    /// Number of sleeping robots remaining.
+    fn asleep_count(&self) -> usize {
+        (0..=self.n())
+            .filter(|&i| !self.is_awake(RobotId::from_index(i)))
+            .count()
+    }
+
+    /// Total `look` snapshots taken so far (model-accounting statistic).
+    fn look_count(&self) -> usize;
+}
+
+/// A world built from a fixed [`Instance`]: all initial positions are
+/// determined upfront; `look` answers through a unit-cell spatial index.
+///
+/// # Example
+///
+/// ```
+/// use freezetag_geometry::Point;
+/// use freezetag_instances::Instance;
+/// use freezetag_sim::{ConcreteWorld, RobotId, WorldView};
+///
+/// let inst = Instance::new(vec![Point::new(0.5, 0.0), Point::new(3.0, 0.0)]);
+/// let mut w = ConcreteWorld::new(&inst);
+/// let seen = w.look(Point::ORIGIN, 0.0);
+/// assert_eq!(seen.len(), 1);
+/// assert_eq!(seen[0].id, RobotId::sleeper(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcreteWorld {
+    source: Point,
+    positions: Vec<Point>,
+    wake_times: Vec<Option<f64>>, // indexed by RobotId::index()
+    index: GridIndex,
+    looks: usize,
+}
+
+impl ConcreteWorld {
+    /// Builds the world of an instance; only the source starts awake.
+    pub fn new(instance: &Instance) -> Self {
+        let positions = instance.positions().to_vec();
+        let mut wake_times = vec![None; positions.len() + 1];
+        wake_times[0] = Some(0.0);
+        let index = GridIndex::build(&positions, 1.0);
+        ConcreteWorld {
+            source: instance.source(),
+            positions,
+            wake_times,
+            index,
+            looks: 0,
+        }
+    }
+
+    /// All sleeping-robot initial positions (index `i` is
+    /// `RobotId::sleeper(i)`).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+}
+
+impl WorldView for ConcreteWorld {
+    fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn source_pos(&self) -> Point {
+        self.source
+    }
+
+    fn look(&mut self, from: Point, time: f64) -> Vec<Sighting> {
+        self.looks += 1;
+        self.index
+            .within(from, 1.0)
+            .filter(|&i| {
+                match self.wake_times[i + 1] {
+                    None => true,                 // still asleep: visible
+                    Some(wt) => time < wt - freezetag_geometry::EPS, // woken later
+                }
+            })
+            .map(|i| Sighting {
+                id: RobotId::sleeper(i),
+                pos: self.positions[i],
+            })
+            .collect()
+    }
+
+    fn wake(&mut self, target: RobotId, time: f64) -> Result<(), SimError> {
+        let slot = &mut self.wake_times[target.index()];
+        if slot.is_some() {
+            return Err(SimError::AlreadyAwake(target));
+        }
+        *slot = Some(time);
+        Ok(())
+    }
+
+    fn is_awake(&self, target: RobotId) -> bool {
+        self.wake_times[target.index()].is_some()
+    }
+
+    fn wake_time(&self, target: RobotId) -> Option<f64> {
+        self.wake_times[target.index()]
+    }
+
+    fn position(&self, target: RobotId) -> Option<Point> {
+        match target.sleeper_index() {
+            None => Some(self.source),
+            Some(i) => Some(self.positions[i]),
+        }
+    }
+
+    fn look_count(&self) -> usize {
+        self.looks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> ConcreteWorld {
+        let inst = Instance::new(vec![
+            Point::new(0.5, 0.0),
+            Point::new(0.0, 0.9),
+            Point::new(2.0, 2.0),
+        ]);
+        ConcreteWorld::new(&inst)
+    }
+
+    #[test]
+    fn look_sees_only_within_unit_distance() {
+        let mut w = world();
+        let seen = w.look(Point::ORIGIN, 0.0);
+        let ids: Vec<RobotId> = seen.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![RobotId::sleeper(0), RobotId::sleeper(1)]);
+        assert_eq!(w.look_count(), 1);
+    }
+
+    #[test]
+    fn woken_robots_disappear_from_later_looks() {
+        let mut w = world();
+        w.wake(RobotId::sleeper(0), 5.0).unwrap();
+        // Before the wake they are still visible...
+        assert_eq!(w.look(Point::ORIGIN, 4.0).len(), 2);
+        // ...and invisible from the wake time onward.
+        assert_eq!(w.look(Point::ORIGIN, 5.0).len(), 1);
+        assert_eq!(w.look(Point::ORIGIN, 6.0).len(), 1);
+    }
+
+    #[test]
+    fn double_wake_is_an_error() {
+        let mut w = world();
+        w.wake(RobotId::sleeper(2), 1.0).unwrap();
+        assert_eq!(
+            w.wake(RobotId::sleeper(2), 2.0),
+            Err(SimError::AlreadyAwake(RobotId::sleeper(2)))
+        );
+    }
+
+    #[test]
+    fn status_and_counts() {
+        let mut w = world();
+        assert!(w.is_awake(RobotId::SOURCE));
+        assert_eq!(w.wake_time(RobotId::SOURCE), Some(0.0));
+        assert_eq!(w.asleep_count(), 3);
+        assert!(!w.all_awake());
+        for i in 0..3 {
+            w.wake(RobotId::sleeper(i), 1.0).unwrap();
+        }
+        assert!(w.all_awake());
+        assert_eq!(w.asleep_count(), 0);
+    }
+
+    #[test]
+    fn positions_are_known() {
+        let w = world();
+        assert_eq!(w.position(RobotId::SOURCE), Some(Point::ORIGIN));
+        assert_eq!(w.position(RobotId::sleeper(2)), Some(Point::new(2.0, 2.0)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Renders every instance family to SVG — a visual index of the workloads
+//! used across the benches and tests.
+//!
+//! Run with: `cargo run --release --example instance_gallery`
+//! Output:   `target/gallery/*.svg`
+
+use freezetag::instances::adversarial::theorem2_layout;
+use freezetag::instances::generators::{
+    clustered, grid_lattice, ring, snake, two_clusters_bridge, uniform_disk,
+};
+use freezetag::instances::path_construction::{theorem6_instance, Theorem6Params};
+use freezetag::instances::Instance;
+use freezetag::sim::svg::{render_run, SvgOptions};
+
+fn save(name: &str, inst: &Instance) {
+    let svg = render_run(
+        inst.source(),
+        inst.positions(),
+        None,
+        &[],
+        &SvgOptions::default(),
+    );
+    let path = format!("target/gallery/{name}.svg");
+    std::fs::write(&path, svg).expect("write svg");
+    let p = inst.params(None);
+    println!(
+        "{path:<42} n={:<5} ρ*={:<8.2} ℓ*={:<8.2} ξ={:.2}",
+        inst.n(),
+        p.rho_star,
+        p.ell_star,
+        p.xi_ell.unwrap_or(f64::NAN)
+    );
+}
+
+fn main() {
+    std::fs::create_dir_all("target/gallery").expect("create gallery dir");
+    save("uniform_disk", &uniform_disk(150, 20.0, 1));
+    save("lattice", &grid_lattice(12, 12, 2.0));
+    save("snake", &snake(5, 50.0, 3.0, 1.5));
+    save("ring", &ring(48, 15.0, 1.0, 2));
+    save("clustered", &clustered(5, 25, 2.0, 25.0, 3));
+    save("bridge", &two_clusters_bridge(30, 2.0, 40.0, 2.0, 4));
+    save(
+        "theorem6_path",
+        &theorem6_instance(&Theorem6Params {
+            ell: 1.0,
+            rho: 30.0,
+            budget: 4.0,
+            xi: 70.0,
+        }),
+    );
+    // The adversarial layout renders its disk centres (robot positions are
+    // adaptive — see AdversarialWorld).
+    let layout = theorem2_layout(4.0, 24.0, 100_000);
+    let pseudo = Instance::new(layout.centers.clone());
+    save("theorem2_centers", &pseudo);
+    println!("\ngallery written to target/gallery/");
+}

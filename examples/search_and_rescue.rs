@@ -1,0 +1,64 @@
+//! Search-and-rescue scenario: a sensor swarm strung along a winding
+//! canyon.
+//!
+//! Sensors sleep along a serpentine corridor (high `ξ_ℓ/ρ*`): the wake-up
+//! wave must physically travel the corridor. This is the workload that
+//! separates the two energy-constrained algorithms — `AGrid` pays
+//! `Θ(ξ_ℓ·ℓ)` while `AWave` gets `Θ(ξ_ℓ + ℓ² log(ξ_ℓ/ℓ))`, an asymptotic
+//! factor-ℓ gap (Table 1, rows 3–4).
+//!
+//! Run with: `cargo run --release --example search_and_rescue`
+
+use freezetag::core::bounds;
+use freezetag::prelude::*;
+
+fn main() {
+    // A canyon with 6 switchbacks, 80-unit legs, sensors every 1.5 units.
+    let instance = snake(6, 80.0, 2.5, 1.5);
+    let tuple = instance.admissible_tuple();
+    let params = instance.params(Some(tuple.ell));
+    let xi = params.xi_ell.expect("corridor is connected");
+
+    println!("canyon swarm: {} sensors", instance.n());
+    println!(
+        "ρ*={:.1} ξ_ℓ={:.1} (ξ/ρ = {:.2} — the corridor forces travel)",
+        params.rho_star,
+        xi,
+        xi / params.rho_star
+    );
+    println!();
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12}",
+        "algorithm", "makespan", "bound", "ratio", "max-energy"
+    );
+
+    let mut grid_makespan = 0.0;
+    let mut wave_makespan = 0.0;
+    for alg in [Algorithm::Grid, Algorithm::Wave] {
+        let report = solve(&instance, &tuple, alg).expect("valid run");
+        assert!(report.all_awake);
+        let bound = match alg {
+            Algorithm::Grid => bounds::grid_makespan_bound(xi, tuple.ell),
+            _ => bounds::wave_makespan_bound(xi, tuple.ell),
+        };
+        match alg {
+            Algorithm::Grid => grid_makespan = report.makespan,
+            _ => wave_makespan = report.makespan,
+        }
+        println!(
+            "{:<12} {:>10.1} {:>12.1} {:>10.2} {:>12.1}",
+            alg.to_string(),
+            report.makespan,
+            bound,
+            report.makespan / bound,
+            report.max_energy
+        );
+    }
+
+    println!();
+    println!(
+        "AGrid/AWave makespan ratio on this corridor: {:.2}",
+        grid_makespan / wave_makespan
+    );
+    println!("(the gap grows with ℓ — see the table1 bench for the sweep)");
+}

@@ -1,0 +1,70 @@
+//! Regenerates the *data* behind Figures 1 and 2 of the paper: the phase
+//! structure of one `ASeparator` run, plus an SVG rendering of the
+//! trajectories and the recursive squares.
+//!
+//! Run with: `cargo run --release --example visualize_phases`
+//! Output:   `target/aseparator_phases.svg`
+
+use freezetag::geometry::{Point, Rect, Square};
+use freezetag::prelude::*;
+use freezetag::sim::svg::{render_run, SvgOptions};
+use std::collections::BTreeMap;
+
+fn main() {
+    // A 16×16 lattice with spacing 2: ℓ* = 2 and ρ*/ℓ* ≈ 21, so the
+    // round-0 sampling hits its 4ℓ target quickly and several partition
+    // rounds (Explore-sep → Recruit → Reorganize) actually happen — the
+    // regime Figures 1 and 2 depict.
+    let instance = grid_lattice(16, 16, 2.0);
+    let tuple = instance.admissible_tuple();
+    let report = solve(&instance, &tuple, Algorithm::Separator).expect("valid run");
+    assert!(report.all_awake);
+
+    println!("=== ASeparator phase trace (Figures 1–2 data) ===");
+    println!("instance: n={} tuple {tuple}", instance.n());
+    println!();
+    println!("{:<20} {:>8} {:>12} {:>12}", "phase", "spans", "total-time", "share-%");
+    let mut agg: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for s in report.trace.spans() {
+        let e = agg.entry(s.label.clone()).or_insert((0.0, 0));
+        e.0 += s.end - s.start;
+        e.1 += 1;
+    }
+    let total: f64 = agg.values().map(|v| v.0).sum();
+    for (label, (dur, count)) in &agg {
+        println!(
+            "{:<20} {:>8} {:>12.1} {:>12.1}",
+            label,
+            count,
+            dur,
+            100.0 * dur / total
+        );
+    }
+    println!();
+    println!("first spans in order (recruit → explore-sep → recruit → …):");
+    for s in report.trace.spans().iter().take(8) {
+        println!("  [{:>8.1} → {:>8.1}] {:<18} {}", s.start, s.end, s.label, s.detail);
+    }
+
+    // SVG: trajectories + the round-1 quadrant squares (Figure 1c/2c).
+    let big = Square::new(instance.source(), 2.0 * tuple.rho);
+    let mut rects: Vec<Rect> = vec![big.to_rect()];
+    rects.extend(big.quadrants().iter().map(Square::to_rect));
+    // Re-run capturing the schedule for rendering.
+    let mut sim = freezetag::sim::Sim::new(ConcreteWorld::new(&instance));
+    freezetag::core::run_algorithm(&mut sim, &tuple, Algorithm::Separator);
+    let (_, schedule, _) = sim.into_parts();
+    let svg = render_run(
+        instance.source(),
+        instance.positions(),
+        Some(&schedule),
+        &rects,
+        &SvgOptions::default(),
+    );
+    let path = "target/aseparator_phases.svg";
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write(path, svg).expect("write svg");
+    println!();
+    println!("wrote {path}");
+    let _ = Point::ORIGIN; // keep the import used even if rendering changes
+}

@@ -1,0 +1,220 @@
+//! `dftp` — command-line driver for the freezetag workspace.
+//!
+//! ```console
+//! $ dftp solve --alg separator --gen disk --n 100 --radius 20 --seed 1
+//! $ dftp solve --alg wave --gen snake --legs 5 --leg 40 --spacing 1
+//! $ dftp params --gen disk --n 200 --radius 30 --seed 7
+//! $ dftp svg --alg separator --gen lattice --side 12 --spacing 2 --out run.svg
+//! $ dftp compare --gen snake --legs 4 --leg 60 --spacing 2
+//! ```
+//!
+//! Everything is deterministic given `--seed`.
+
+use freezetag::core::{bounds, run_algorithm, solve, Algorithm};
+use freezetag::instances::generators::{clustered, grid_lattice, ring, snake, uniform_disk};
+use freezetag::instances::Instance;
+use freezetag::sim::svg::{render_run, SvgOptions};
+use freezetag::sim::{ConcreteWorld, Sim};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, opts)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match run(&cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dftp solve   --alg <separator|grid|wave> --gen <GEN> [GEN OPTIONS]
+               [--strategy <quadtree|greedy|median|chain>]  (separator only)
+  dftp compare --gen <GEN> [GEN OPTIONS]
+  dftp params  --gen <GEN> [GEN OPTIONS]
+  dftp svg     --alg <ALG> --gen <GEN> [GEN OPTIONS] --out <FILE>
+
+generators (defaults in parentheses):
+  disk     --n (60) --radius (12) --seed (1)
+  lattice  --side (8) --spacing (1.5)
+  snake    --legs (4) --leg (30) --riser (2) --spacing (1)
+  ring     --n (36) --radius (10) --spacing (1) --seed (1)
+  clusters --clusters (4) --per (15) --cradius (1.5) --spread (18) --seed (1)";
+
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let cmd = args.first()?.clone();
+    let mut opts = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?.to_string();
+        let val = args.get(i + 1)?.clone();
+        opts.insert(key, val);
+        i += 2;
+    }
+    Some((cmd, opts))
+}
+
+fn get_f(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number")),
+    }
+}
+
+fn get_u(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer")),
+    }
+}
+
+fn build_instance(opts: &HashMap<String, String>) -> Result<Instance, String> {
+    let gen = opts.get("gen").map(String::as_str).unwrap_or("disk");
+    let seed = get_u(opts, "seed", 1)? as u64;
+    Ok(match gen {
+        "disk" => uniform_disk(get_u(opts, "n", 60)?, get_f(opts, "radius", 12.0)?, seed),
+        "lattice" => {
+            let side = get_u(opts, "side", 8)?;
+            grid_lattice(side, side, get_f(opts, "spacing", 1.5)?)
+        }
+        "snake" => snake(
+            get_u(opts, "legs", 4)?,
+            get_f(opts, "leg", 30.0)?,
+            get_f(opts, "riser", 2.0)?,
+            get_f(opts, "spacing", 1.0)?,
+        ),
+        "ring" => ring(
+            get_u(opts, "n", 36)?,
+            get_f(opts, "radius", 10.0)?,
+            get_f(opts, "spacing", 1.0)?,
+            seed,
+        ),
+        "clusters" => clustered(
+            get_u(opts, "clusters", 4)?,
+            get_u(opts, "per", 15)?,
+            get_f(opts, "cradius", 1.5)?,
+            get_f(opts, "spread", 18.0)?,
+            seed,
+        ),
+        other => return Err(format!("unknown generator '{other}'")),
+    })
+}
+
+fn parse_alg(opts: &HashMap<String, String>) -> Result<Algorithm, String> {
+    match opts.get("alg").map(String::as_str) {
+        Some("separator") | None => Ok(Algorithm::Separator),
+        Some("grid") => Ok(Algorithm::Grid),
+        Some("wave") => Ok(Algorithm::Wave),
+        Some(other) => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn parse_strategy(
+    opts: &HashMap<String, String>,
+) -> Result<freezetag::central::WakeStrategy, String> {
+    use freezetag::central::WakeStrategy;
+    match opts.get("strategy").map(String::as_str) {
+        None | Some("quadtree") => Ok(WakeStrategy::Quadtree),
+        Some("greedy") => Ok(WakeStrategy::Greedy),
+        Some("median") => Ok(WakeStrategy::MedianSplit),
+        Some("chain") => Ok(WakeStrategy::Chain),
+        Some(other) => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn print_report(inst: &Instance, alg: Algorithm) -> Result<(), String> {
+    let tuple = inst.admissible_tuple();
+    let rep = solve(inst, &tuple, alg).map_err(|e| e.to_string())?;
+    let params = inst.params(Some(tuple.ell));
+    let xi = params.xi_ell.unwrap_or(f64::NAN);
+    let bound = match alg {
+        Algorithm::Separator => bounds::separator_makespan_bound(tuple.rho, tuple.ell),
+        Algorithm::Grid => bounds::grid_makespan_bound(xi, tuple.ell),
+        Algorithm::Wave => bounds::wave_makespan_bound(xi, tuple.ell),
+    };
+    println!("{alg} on n={} (tuple {tuple}):", inst.n());
+    println!("  makespan    {:>12.2}  (bound {:.1}, ratio {:.2})", rep.makespan, bound, rep.makespan / bound);
+    println!("  completion  {:>12.2}", rep.completion_time);
+    println!("  max energy  {:>12.2}", rep.max_energy);
+    println!("  total energy{:>12.2}", rep.total_energy);
+    println!("  looks       {:>12}", rep.looks);
+    println!("  all awake   {:>12}", rep.all_awake);
+    Ok(())
+}
+
+fn run(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = build_instance(opts)?;
+    match cmd {
+        "solve" => {
+            let alg = parse_alg(opts)?;
+            let strategy = parse_strategy(opts)?;
+            if alg == Algorithm::Separator
+                && strategy != freezetag::central::WakeStrategy::Quadtree
+            {
+                // Ablation path: run ASeparator with the chosen Lemma 2
+                // substitute (only the unconstrained algorithm may deviate
+                // from the O(R) quadtree; see core::separator docs).
+                let tuple = inst.admissible_tuple();
+                let mut sim = Sim::new(ConcreteWorld::new(&inst));
+                freezetag::core::a_separator(
+                    &mut sim,
+                    &freezetag::core::ASeparatorConfig { tuple, strategy },
+                );
+                use freezetag::sim::WorldView;
+                println!(
+                    "ASeparator[{strategy}] on n={}: makespan {:.2}, all awake: {}",
+                    inst.n(),
+                    sim.schedule().makespan(),
+                    sim.world().all_awake()
+                );
+                return Ok(());
+            }
+            print_report(&inst, alg)
+        }
+        "compare" => {
+            for alg in [Algorithm::Separator, Algorithm::Grid, Algorithm::Wave] {
+                print_report(&inst, alg)?;
+            }
+            Ok(())
+        }
+        "params" => {
+            let p = inst.params(None);
+            let tuple = inst.admissible_tuple();
+            println!("n     = {}", inst.n());
+            println!("ρ*    = {:.4}", p.rho_star);
+            println!("ℓ*    = {:.4}", p.ell_star);
+            println!("ξ_ℓ*  = {:?}", p.xi_ell);
+            println!("tuple = {tuple}");
+            Ok(())
+        }
+        "svg" => {
+            let alg = parse_alg(opts)?;
+            let out = opts
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "dftp_run.svg".to_string());
+            let tuple = inst.admissible_tuple();
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            run_algorithm(&mut sim, &tuple, alg);
+            let (_, schedule, _) = sim.into_parts();
+            let svg = render_run(
+                inst.source(),
+                inst.positions(),
+                Some(&schedule),
+                &[],
+                &SvgOptions::default(),
+            );
+            std::fs::write(&out, svg).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

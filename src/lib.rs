@@ -1,0 +1,51 @@
+//! # freezetag
+//!
+//! A faithful, laptop-scale reproduction of *Distributed Freeze Tag: a
+//! Sustainable Solution to Discover and Wake-up a Robot Swarm* (Gavoille,
+//! Hanusse, Le Bouder, Marcé — PODC 2025).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geometry`] — planar primitives (points, squares, separators, sweeps);
+//! * [`graph`] — δ-disk graphs and the instance parameters `ρ*`, `ℓ*`, `ξ_ℓ`;
+//! * [`instances`] — generators and the paper's adversarial lower-bound
+//!   constructions;
+//! * [`sim`] — the continuous-time Look-Compute-Move simulation substrate;
+//! * [`central`] — centralized Freeze Tag (wake-up trees on known positions);
+//! * [`core`] — the distributed algorithms `ASeparator`, `AGrid`, `AWave`
+//!   and their building blocks `Explore` and `DFSampling`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use freezetag::prelude::*;
+//!
+//! // 60 sleeping robots uniform in a disk of radius 12 around the source.
+//! let instance = uniform_disk(60, 12.0, 42);
+//! let tuple = instance.admissible_tuple();
+//! let report = solve(&instance, &tuple, Algorithm::Separator).unwrap();
+//! assert!(report.all_awake);
+//! assert!(report.makespan > 0.0);
+//! ```
+
+pub use freezetag_central as central;
+pub use freezetag_core as core;
+pub use freezetag_geometry as geometry;
+pub use freezetag_graph as graph;
+pub use freezetag_instances as instances;
+pub use freezetag_sim as sim;
+
+/// Convenient glob-import surface for examples and downstream binaries.
+pub mod prelude {
+    pub use freezetag_central::{greedy_wake_tree, quadtree_wake_tree, WakeTree};
+    pub use freezetag_core::{
+        solve, AGridConfig, ASeparatorConfig, AWaveConfig, Algorithm, RunReport,
+    };
+    pub use freezetag_geometry::{Point, Rect, Square};
+    pub use freezetag_graph::InstanceParams;
+    pub use freezetag_instances::{
+        generators::{clustered, grid_lattice, ring, snake, two_clusters_bridge, uniform_disk},
+        AdmissibleTuple, Instance,
+    };
+    pub use freezetag_sim::{validate, ConcreteWorld, WorldView};
+}

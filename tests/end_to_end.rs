@@ -1,0 +1,183 @@
+//! End-to-end integration: every generator family × every algorithm, with
+//! full schedule validation (kinematics, wake legality, coverage).
+
+use freezetag::core::{solve, Algorithm, RunReport};
+use freezetag::instances::generators::{
+    clustered, grid_lattice, ring, snake, two_clusters_bridge, uniform_disk,
+};
+use freezetag::instances::Instance;
+
+const ALGS: [Algorithm; 3] = [Algorithm::Separator, Algorithm::Grid, Algorithm::Wave];
+
+fn check(inst: &Instance, label: &str) -> Vec<RunReport> {
+    let tuple = inst.admissible_tuple();
+    ALGS.iter()
+        .map(|&alg| {
+            let rep = solve(inst, &tuple, alg)
+                .unwrap_or_else(|e| panic!("{label}/{alg}: invalid schedule: {e}"));
+            assert!(rep.all_awake, "{label}/{alg}: robots left asleep");
+            assert_eq!(rep.wake_count, inst.n(), "{label}/{alg}: wake count");
+            assert!(
+                rep.makespan <= rep.completion_time + 1e-9,
+                "{label}/{alg}: makespan after completion"
+            );
+            rep
+        })
+        .collect()
+}
+
+#[test]
+fn uniform_disk_all_algorithms() {
+    let inst = uniform_disk(45, 9.0, 1);
+    check(&inst, "disk");
+}
+
+#[test]
+fn lattice_all_algorithms() {
+    let inst = grid_lattice(6, 6, 1.5);
+    check(&inst, "lattice");
+}
+
+#[test]
+fn snake_all_algorithms() {
+    let inst = snake(3, 15.0, 2.0, 1.0);
+    check(&inst, "snake");
+}
+
+#[test]
+fn ring_all_algorithms() {
+    let inst = ring(24, 8.0, 1.0, 3);
+    check(&inst, "ring");
+}
+
+#[test]
+fn clustered_all_algorithms() {
+    let inst = clustered(3, 10, 1.5, 12.0, 5);
+    check(&inst, "clustered");
+}
+
+#[test]
+fn bridge_all_algorithms() {
+    let inst = two_clusters_bridge(12, 1.0, 14.0, 1.5, 8);
+    check(&inst, "bridge");
+}
+
+#[test]
+fn single_robot_instances() {
+    for pos in [
+        freezetag::geometry::Point::new(0.5, 0.0),
+        freezetag::geometry::Point::new(3.0, 4.0),
+        freezetag::geometry::Point::new(-7.0, 2.0),
+    ] {
+        let inst = Instance::new(vec![pos]);
+        check(&inst, "single");
+    }
+}
+
+#[test]
+fn colinear_robots() {
+    let pts: Vec<_> = (1..=20)
+        .map(|i| freezetag::geometry::Point::new(i as f64 * 0.9, 0.0))
+        .collect();
+    let inst = Instance::new(pts);
+    check(&inst, "line");
+}
+
+#[test]
+fn coincident_cluster() {
+    // Several robots at (almost) the same spot plus a far one.
+    let mut pts = vec![freezetag::geometry::Point::new(2.0, 2.0); 5];
+    pts.push(freezetag::geometry::Point::new(6.0, 6.0));
+    let inst = Instance::new(pts);
+    check(&inst, "coincident");
+}
+
+#[test]
+fn loose_tuples_also_work() {
+    // Feeding the algorithms slack bounds (ℓ, ρ larger than necessary)
+    // must still produce valid complete runs (Definition 1 quantifies over
+    // all admissible tuples dominating the instance).
+    let inst = uniform_disk(30, 7.0, 9);
+    let tuple = inst.loose_tuple(2.0, 1.5);
+    for alg in ALGS {
+        let rep = solve(&inst, &tuple, alg).expect("valid run");
+        assert!(rep.all_awake, "{alg} with loose tuple left robots asleep");
+    }
+}
+
+#[test]
+fn makespan_dominates_radius() {
+    // Trivial lower bound: someone must physically reach the farthest
+    // robot, so makespan ≥ ρ* for every algorithm.
+    let inst = uniform_disk(40, 11.0, 17);
+    let rho_star = inst.params(None).rho_star;
+    for rep in check(&inst, "radius-lb") {
+        assert!(
+            rep.makespan >= rho_star - 1e-6,
+            "{}: makespan {} below rho* {}",
+            rep.algorithm,
+            rep.makespan,
+            rho_star
+        );
+    }
+}
+
+#[test]
+fn deterministic_replays() {
+    // Same instance, same tuple, same algorithm → identical makespan.
+    let inst = uniform_disk(35, 8.0, 23);
+    let tuple = inst.admissible_tuple();
+    for alg in ALGS {
+        let a = solve(&inst, &tuple, alg).unwrap();
+        let b = solve(&inst, &tuple, alg).unwrap();
+        assert_eq!(a.makespan, b.makespan, "{alg} not deterministic");
+        assert_eq!(a.total_energy, b.total_energy);
+        assert_eq!(a.looks, b.looks);
+    }
+}
+
+#[test]
+fn off_origin_sources_work() {
+    // The paper fixes p0 = (0,0); our implementation supports arbitrary
+    // source positions (tilings and squares are translated). All three
+    // algorithms must be translation-invariant.
+    let base = uniform_disk(30, 7.0, 41);
+    let offset = freezetag::geometry::Point::new(103.7, -55.2);
+    let shifted = Instance::with_source(
+        offset,
+        base.positions().iter().map(|&p| p + offset).collect(),
+    );
+    let tuple = shifted.admissible_tuple();
+    for alg in ALGS {
+        let rep = solve(&shifted, &tuple, alg)
+            .unwrap_or_else(|e| panic!("offset/{alg}: {e}"));
+        assert!(rep.all_awake, "offset/{alg}: robots left asleep");
+    }
+    // And the makespans match the origin-centred run (same tuple).
+    let tuple0 = base.admissible_tuple();
+    assert_eq!(tuple.ell, tuple0.ell);
+    for alg in ALGS {
+        let a = solve(&base, &tuple0, alg).unwrap().makespan;
+        let b = solve(&shifted, &tuple, alg).unwrap().makespan;
+        assert!(
+            (a - b).abs() < 1e-6,
+            "{alg}: translation changed the makespan {a} → {b}"
+        );
+    }
+}
+
+#[test]
+fn energy_hierarchy_holds() {
+    // AGrid's worst-robot energy ≤ AWave's ≤ (typically) ASeparator's
+    // round-trip-heavy profile; at minimum AGrid must respect Θ(ℓ²) while
+    // the others are allowed more.
+    let inst = uniform_disk(50, 10.0, 31);
+    let tuple = inst.admissible_tuple();
+    let grid = solve(&inst, &tuple, Algorithm::Grid).unwrap();
+    let ell = tuple.ell;
+    assert!(
+        grid.max_energy <= 80.0 * ell * ell + 60.0 * ell + 40.0,
+        "AGrid energy {} not O(ell^2)",
+        grid.max_energy
+    );
+}

@@ -1,0 +1,51 @@
+//! Large-swarm stress tests — `#[ignore]`d by default; run explicitly:
+//!
+//! ```console
+//! $ cargo test --release --test stress -- --ignored
+//! ```
+
+use freezetag::core::{solve, Algorithm};
+use freezetag::instances::generators::{grid_lattice, snake, uniform_disk};
+
+#[test]
+#[ignore = "large: run with --ignored in release mode"]
+fn separator_on_two_thousand_robots() {
+    let inst = uniform_disk(2000, 60.0, 1);
+    let tuple = inst.admissible_tuple();
+    let rep = solve(&inst, &tuple, Algorithm::Separator).expect("valid run");
+    assert!(rep.all_awake);
+    assert_eq!(rep.wake_count, 2000);
+}
+
+#[test]
+#[ignore = "large: run with --ignored in release mode"]
+fn grid_on_long_corridor() {
+    let inst = snake(8, 200.0, 3.0, 1.5);
+    let tuple = inst.admissible_tuple();
+    let rep = solve(&inst, &tuple, Algorithm::Grid).expect("valid run");
+    assert!(rep.all_awake);
+    // Energy budget survives at scale.
+    let ell = tuple.ell;
+    assert!(rep.max_energy <= 80.0 * ell * ell + 60.0 * ell + 40.0);
+}
+
+#[test]
+#[ignore = "large: run with --ignored in release mode"]
+fn wave_on_big_lattice() {
+    let inst = grid_lattice(40, 40, 2.0);
+    let tuple = inst.admissible_tuple();
+    let rep = solve(&inst, &tuple, Algorithm::Wave).expect("valid run");
+    assert!(rep.all_awake);
+    assert_eq!(rep.wake_count, 1600);
+}
+
+#[test]
+#[ignore = "large: run with --ignored in release mode"]
+fn all_algorithms_agree_on_coverage_at_scale() {
+    let inst = uniform_disk(800, 40.0, 2);
+    let tuple = inst.admissible_tuple();
+    for alg in [Algorithm::Separator, Algorithm::Grid, Algorithm::Wave] {
+        let rep = solve(&inst, &tuple, alg).expect("valid run");
+        assert_eq!(rep.wake_count, 800, "{alg}");
+    }
+}
