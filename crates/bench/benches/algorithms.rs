@@ -19,7 +19,13 @@ fn bench_solvers(c: &mut Criterion) {
     let mut g = c.benchmark_group("algorithms");
     g.sample_size(10);
     g.bench_function("aseparator_disk_n60", |b| {
-        b.iter(|| black_box(solve(&disk, &disk_tuple, Algorithm::Separator).unwrap().makespan));
+        b.iter(|| {
+            black_box(
+                solve(&disk, &disk_tuple, Algorithm::Separator)
+                    .unwrap()
+                    .makespan,
+            )
+        });
     });
     g.bench_function("agrid_disk_n60", |b| {
         b.iter(|| black_box(solve(&disk, &disk_tuple, Algorithm::Grid).unwrap().makespan));
@@ -69,5 +75,10 @@ fn bench_radius_estimate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_adversary, bench_radius_estimate);
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_adversary,
+    bench_radius_estimate
+);
 criterion_main!(benches);

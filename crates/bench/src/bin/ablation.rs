@@ -63,7 +63,14 @@ fn items_of(inst: &Instance) -> Vec<(RobotId, Point)> {
 
 fn central_strategies() {
     println!("\n## Ablation 1 — centralized wake-up strategies (makespan)\n");
-    header(&["workload", "n", "chain", "greedy", "median", "quadtree(ours)"]);
+    header(&[
+        "workload",
+        "n",
+        "chain",
+        "greedy",
+        "median",
+        "quadtree(ours)",
+    ]);
     let workloads: Vec<(&str, Instance)> = vec![
         ("uniform", uniform_disk(150, 25.0, 11)),
         ("clustered", clustered(4, 35, 1.5, 25.0, 12)),
@@ -92,13 +99,7 @@ fn central_strategies() {
         let opt = optimal_makespan(Point::ORIGIN, inst.positions());
         let quad = quadtree_wake_tree(Point::ORIGIN, &items).makespan();
         let greedy = greedy_wake_tree(Point::ORIGIN, &items).makespan();
-        row(&[
-            n.to_string(),
-            f2(opt),
-            f2(quad),
-            f2(greedy),
-            f2(quad / opt),
-        ]);
+        row(&[n.to_string(), f2(opt), f2(quad), f2(greedy), f2(quad / opt)]);
     }
     println!("\nconclusion: the midline quadtree is the only variant that is");
     println!("simultaneously O(R) on skewed inputs and close to optimal on");

@@ -96,12 +96,7 @@ fn collaborative() {
         if k == 1 {
             t1 = dt;
         }
-        row(&[
-            k.to_string(),
-            f1(dt),
-            f2(t1 / dt),
-            k.to_string(),
-        ]);
+        row(&[k.to_string(), f1(dt), f2(t1 / dt), k.to_string()]);
     }
     println!("\nshape check: speed-up tracks k until the w+h term dominates —");
     println!("exactly Lemma 1's O(wh/k + w + h).");
@@ -144,5 +139,7 @@ fn lemma2_constant() {
         .collect();
     let quad = quadtree_wake_tree(Point::ORIGIN, &items).makespan();
     let greedy = freezetag_central::greedy_wake_tree(Point::ORIGIN, &items).makespan();
-    println!("\nbaseline: quadtree {quad:.1} vs greedy {greedy:.1} on a uniform disk (n=100, ρ=20)");
+    println!(
+        "\nbaseline: quadtree {quad:.1} vs greedy {greedy:.1} on a uniform disk (n=100, ρ=20)"
+    );
 }

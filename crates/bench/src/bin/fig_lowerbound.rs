@@ -26,7 +26,13 @@ fn main() {
 fn theorem2_series() {
     println!("\n## Figure 5a / Theorem 2 — adversarial grid of disks\n");
     header(&[
-        "ℓ", "ρ", "m", "makespan", "ρ + ℓ²·log m", "ratio", "pinned late?",
+        "ℓ",
+        "ρ",
+        "m",
+        "makespan",
+        "ρ + ℓ²·log m",
+        "ratio",
+        "pinned late?",
     ]);
     let ell = 4.0;
     for &rho in &[16.0, 32.0, 64.0] {
@@ -80,7 +86,12 @@ fn theorem2_series() {
 fn theorem6_series() {
     println!("\n## Theorem 6 — prescribed-eccentricity path, Ω(ξ + ℓ² log(ξ/ℓ))\n");
     header(&[
-        "ξ (target)", "ξ_ℓ (measured)", "alg", "makespan", "Ω-shape", "ratio",
+        "ξ (target)",
+        "ξ_ℓ (measured)",
+        "alg",
+        "makespan",
+        "Ω-shape",
+        "ratio",
     ]);
     let p0 = Theorem6Params {
         ell: 1.0,
@@ -97,10 +108,7 @@ fn theorem6_series() {
         }
         let inst = theorem6_instance(&params);
         let tuple = inst.admissible_tuple();
-        let xi_m = inst
-            .params(Some(tuple.ell))
-            .xi_ell
-            .expect("path connected");
+        let xi_m = inst.params(Some(tuple.ell)).xi_ell.expect("path connected");
         for alg in [Algorithm::Grid, Algorithm::Wave] {
             let rep = solve(&inst, &tuple, alg).expect("valid run");
             assert!(rep.all_awake);

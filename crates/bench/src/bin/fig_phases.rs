@@ -27,7 +27,13 @@ fn main() {
     let (_, schedule, trace) = sim.into_parts();
 
     println!("\n## Figures 1–2 — phase spans per recursion depth\n");
-    header(&["phase", "spans", "total time", "mean time", "detail (first span)"]);
+    header(&[
+        "phase",
+        "spans",
+        "total time",
+        "mean time",
+        "detail (first span)",
+    ]);
     let mut agg: BTreeMap<String, (f64, usize, String)> = BTreeMap::new();
     for s in trace.spans() {
         let e = agg
@@ -63,7 +69,11 @@ fn main() {
         row(&[format!("{pct}%"), f1(t), format!("{:.2}", t / makespan)]);
     }
 
-    println!("\nmakespan {:.1}, completion {:.1}", schedule.makespan(), schedule.completion_time());
+    println!(
+        "\nmakespan {:.1}, completion {:.1}",
+        schedule.makespan(),
+        schedule.completion_time()
+    );
 
     // SVG with the recursive square structure (Figure 1c / 2c visuals).
     let big = Square::new(inst.source(), 2.0 * tuple.rho);

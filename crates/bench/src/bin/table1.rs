@@ -54,8 +54,18 @@ fn section_energy_feasibility() {
                 f1(xi),
                 alg.to_string(),
                 f1(rep.max_energy),
-                if rep.max_energy <= grid_budget { "yes" } else { "no" }.into(),
-                if rep.max_energy <= wave_budget { "yes" } else { "no" }.into(),
+                if rep.max_energy <= grid_budget {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
+                if rep.max_energy <= wave_budget {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
             ]);
         }
     }
@@ -68,9 +78,7 @@ fn section_energy_feasibility() {
 /// Table 1, row 1: `ASeparator` makespan `O(ρ + ℓ² log(ρ/ℓ))`.
 fn section_aseparator() {
     println!("\n## Table 1, row 1 — ASeparator, makespan O(ρ + ℓ² log(ρ/ℓ))\n");
-    header(&[
-        "ℓ", "ρ", "n", "makespan", "bound", "ratio", "max-energy",
-    ]);
+    header(&["ℓ", "ρ", "n", "makespan", "bound", "ratio", "max-energy"]);
     for &ell in &[1.0, 2.0, 4.0] {
         for &ratio in &[8.0, 16.0, 32.0] {
             let rho = ell * ratio;
@@ -99,7 +107,14 @@ fn section_aseparator() {
 fn section_energy_constrained() {
     println!("\n## Table 1, rows 3–4 — AGrid vs AWave on serpentine corridors\n");
     header(&[
-        "ℓ", "ξ_ℓ", "alg", "makespan", "bound", "ratio", "max-energy", "energy-shape",
+        "ℓ",
+        "ξ_ℓ",
+        "alg",
+        "makespan",
+        "bound",
+        "ratio",
+        "max-energy",
+        "energy-shape",
     ]);
     for &ell in &[1.0, 2.0] {
         for &xi_target in &[60.0, 120.0, 240.0] {
@@ -143,7 +158,13 @@ fn section_energy_constrained() {
 /// Table 1, row 2 (Theorem 3): below `π(ℓ²−1)/2` energy, nothing wakes.
 fn section_infeasibility() {
     println!("\n## Table 1, row 2 — infeasibility below B = π(ℓ²−1)/2 (Thm 3)\n");
-    header(&["ℓ", "threshold", "budget (90%)", "energy spent", "robots woken"]);
+    header(&[
+        "ℓ",
+        "threshold",
+        "budget (90%)",
+        "energy spent",
+        "robots woken",
+    ]);
     for &ell in &[4.0, 8.0, 16.0] {
         let threshold = bounds::infeasible_energy_threshold(ell);
         let budget = 0.9 * threshold;
@@ -186,7 +207,13 @@ fn section_infeasibility() {
 fn section_lower_bounds() {
     println!("\n## Table 1, lower bounds — adaptive adversary (Thm 2)\n");
     header(&[
-        "ℓ", "ρ", "m (disks)", "makespan", "Ω-shape", "ratio", "looks",
+        "ℓ",
+        "ρ",
+        "m (disks)",
+        "makespan",
+        "Ω-shape",
+        "ratio",
+        "looks",
     ]);
     for &(ell, rho) in &[(2.0, 16.0), (2.0, 32.0), (4.0, 32.0), (4.0, 64.0)] {
         let layout = theorem2_layout(ell, rho, 4000);

@@ -55,7 +55,11 @@ mod tests {
         let inst = lattice_with(2.0, 24.0);
         let p = inst.params(None);
         assert!((p.ell_star - 2.0).abs() < 1e-9);
-        assert!(p.rho_star >= 20.0 && p.rho_star <= 40.0, "rho {}", p.rho_star);
+        assert!(
+            p.rho_star >= 20.0 && p.rho_star <= 40.0,
+            "rho {}",
+            p.rho_star
+        );
     }
 
     #[test]

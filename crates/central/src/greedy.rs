@@ -106,7 +106,10 @@ mod tests {
         let items: Vec<_> = (0..30)
             .map(|i| {
                 let a = std::f64::consts::TAU * i as f64 / 30.0;
-                (RobotId::sleeper(i), Point::new(a.cos() * 5.0, a.sin() * 5.0))
+                (
+                    RobotId::sleeper(i),
+                    Point::new(a.cos() * 5.0, a.sin() * 5.0),
+                )
             })
             .collect();
         let tree = greedy_wake_tree(Point::ORIGIN, &items);

@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn single_robot_is_direct_distance() {
-        assert_eq!(optimal_makespan(Point::ORIGIN, &[Point::new(3.0, 4.0)]), 5.0);
+        assert_eq!(
+            optimal_makespan(Point::ORIGIN, &[Point::new(3.0, 4.0)]),
+            5.0
+        );
         assert_eq!(optimal_makespan(Point::ORIGIN, &[]), 0.0);
     }
 

@@ -94,7 +94,9 @@ mod tests {
     #[test]
     fn deep_chain_does_not_overflow() {
         // 5000 robots in a line: the tree degenerates to a chain.
-        let pts: Vec<Point> = (1..=5000).map(|i| Point::new(i as f64 * 0.001, 0.0)).collect();
+        let pts: Vec<Point> = (1..=5000)
+            .map(|i| Point::new(i as f64 * 0.001, 0.0))
+            .collect();
         let inst = Instance::new(pts);
         let tree = quadtree_wake_tree(Point::ORIGIN, &items_of(&inst));
         let mut sim = Sim::new(ConcreteWorld::new(&inst));

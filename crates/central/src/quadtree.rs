@@ -34,13 +34,7 @@ pub fn quadtree_wake_tree(root_pos: Point, items: &[(RobotId, Point)]) -> WakeTr
         return tree;
     }
     let rect = Rect::bounding(items.iter().map(|&(_, p)| p)).expect("non-empty items");
-    build(
-        &mut tree,
-        WakeTree::ROOT,
-        root_pos,
-        items.to_vec(),
-        rect,
-    );
+    build(&mut tree, WakeTree::ROOT, root_pos, items.to_vec(), rect);
     tree
 }
 
@@ -86,9 +80,8 @@ fn build(
     }
     // Split the rectangle across its longer side.
     let (left_rect, right_rect) = split(&rect);
-    let (left, right): (Vec<_>, Vec<_>) = items
-        .into_iter()
-        .partition(|&(_, p)| left_rect.contains(p));
+    let (left, right): (Vec<_>, Vec<_>) =
+        items.into_iter().partition(|&(_, p)| left_rect.contains(p));
     // The woken robot takes the half containing more work far from the
     // carrier; both depart from the pivot node.
     build(tree, node, pivot_pos, left, left_rect);
@@ -149,10 +142,7 @@ mod tests {
             for seed in 0..3 {
                 let items = random_items(200, radius, seed);
                 let tree = quadtree_wake_tree(Point::ORIGIN, &items);
-                let r_max = items
-                    .iter()
-                    .map(|&(_, p)| p.norm())
-                    .fold(0.0_f64, f64::max);
+                let r_max = items.iter().map(|&(_, p)| p.norm()).fold(0.0_f64, f64::max);
                 let c = tree.makespan() / r_max;
                 assert!(c < 10.0, "constant {c} too large at radius {radius}");
             }

@@ -71,7 +71,12 @@ mod tests {
     #[test]
     fn every_strategy_wakes_everyone() {
         let items: Vec<(RobotId, Point)> = (0..25)
-            .map(|i| (RobotId::sleeper(i), Point::new((i % 5) as f64, (i / 5) as f64)))
+            .map(|i| {
+                (
+                    RobotId::sleeper(i),
+                    Point::new((i % 5) as f64, (i / 5) as f64),
+                )
+            })
             .collect();
         for s in WakeStrategy::ALL {
             let tree = s.build(Point::new(2.0, 2.0), &items);

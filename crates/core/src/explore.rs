@@ -91,7 +91,9 @@ mod tests {
     fn team_exploration_is_faster() {
         // Compare duration of exploring the same rectangle with 1 vs 4
         // robots (robots pre-woken by hand at the origin).
-        let sleepers: Vec<Point> = (0..3).map(|i| Point::new(0.3 + i as f64 * 0.1, 0.0)).collect();
+        let sleepers: Vec<Point> = (0..3)
+            .map(|i| Point::new(0.3 + i as f64 * 0.1, 0.0))
+            .collect();
         let build = |k: usize| -> f64 {
             let inst = Instance::new(
                 sleepers
@@ -132,7 +134,12 @@ mod tests {
         let t0 = sim.time(RobotId::SOURCE);
         explore(&mut sim, &team, &rect, Point::ORIGIN);
         let dt = sim.time(RobotId::SOURCE) - t0;
-        let bound = explore_bound(&rect, 1, rect.dist(Point::ORIGIN) + rect.width(), rect.width());
+        let bound = explore_bound(
+            &rect,
+            1,
+            rect.dist(Point::ORIGIN) + rect.width(),
+            rect.width(),
+        );
         assert!(dt <= bound, "explore took {dt}, bound {bound}");
     }
 

@@ -133,8 +133,7 @@ pub fn a_grid<W: WorldView>(sim: &mut Sim<W>, cfg: &AGridConfig) {
                 // One designated explorer per slot, rotating through the
                 // group so no robot explores more than ⌈8/|group|⌉ squares.
                 let explorer = robots[slot_idx % robots.len()];
-                let woken =
-                    explore_and_wake(sim, explorer, &target_sq, &cell_of, target_cell);
+                let woken = explore_and_wake(sim, explorer, &target_sq, &cell_of, target_cell);
                 assert!(
                     sim.time(explorer) <= slot_start + slot + 1e-6,
                     "slot {slot_idx} of round {round} overran"

@@ -69,7 +69,10 @@ enum Phase {
     SourceStart,
     /// First step of a robot woken at tree `node`: take the first-child
     /// subtree (Algorithm 1) then join the wave.
-    WokenInit { tree: Rc<WakeTree>, node: NodeId },
+    WokenInit {
+        tree: Rc<WakeTree>,
+        node: NodeId,
+    },
     /// Boustrophedon sweep of `target`'s square.
     Sweep {
         round: usize,
@@ -82,11 +85,23 @@ enum Phase {
         cont: Cont,
     },
     /// Moving towards tree `node`; next step wakes it.
-    RealizeArrive { tree: Rc<WakeTree>, node: NodeId, cont: Cont },
+    RealizeArrive {
+        tree: Rc<WakeTree>,
+        node: NodeId,
+        cont: Cont,
+    },
     /// Wake of `node` just happened; dispatch children.
-    RealizePostWake { tree: Rc<WakeTree>, node: NodeId, cont: Cont },
+    RealizePostWake {
+        tree: Rc<WakeTree>,
+        node: NodeId,
+        cont: Cont,
+    },
     /// Travelling to / waiting at a slot gather point.
-    Gather { round: usize, slot: usize, stage: GatherStage },
+    Gather {
+        round: usize,
+        slot: usize,
+        stage: GatherStage,
+    },
     Done,
 }
 

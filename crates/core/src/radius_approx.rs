@@ -87,10 +87,7 @@ pub fn estimate_radius<W: WorldView>(sim: &mut Sim<W>, ell: f64) -> RadiusEstima
         let width = ell * 2.0_f64.powi(i);
         let sq = Square::new(src, width);
         let sep = sq.separator(ell);
-        let mut found = knowledge
-            .known_where(|p| sep.contains(p))
-            .next()
-            .is_some();
+        let mut found = knowledge.known_where(|p| sep.contains(p)).next().is_some();
         if !found {
             for rect in sep.rectangles() {
                 let sightings = explore(sim, &team, &rect, rect.min());

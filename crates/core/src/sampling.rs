@@ -81,7 +81,15 @@ pub(crate) fn df_sampling<W: WorldView, F: Fn(Point) -> bool>(
         }
         // Move to the seed and start a DFS branch there.
         team.move_all(sim, seed);
-        visit(sim, team, knowledge, &mut sample, &mut recruits, seed, &in_region);
+        visit(
+            sim,
+            team,
+            knowledge,
+            &mut sample,
+            &mut recruits,
+            seed,
+            &in_region,
+        );
         let mut stack = vec![seed];
         while let Some(&cur) = stack.last() {
             if sample.len() >= target {
@@ -114,7 +122,15 @@ pub(crate) fn df_sampling<W: WorldView, F: Fn(Point) -> bool>(
             match next {
                 Some(q) => {
                     team.move_all(sim, q);
-                    visit(sim, team, knowledge, &mut sample, &mut recruits, q, &in_region);
+                    visit(
+                        sim,
+                        team,
+                        knowledge,
+                        &mut sample,
+                        &mut recruits,
+                        q,
+                        &in_region,
+                    );
                     stack.push(q);
                 }
                 None => {
@@ -247,7 +263,9 @@ mod tests {
         // 16R²/(πℓ²) points.
         let pts: Vec<Point> = (0..50)
             .flat_map(|i| {
-                (0..2).map(move |j| Point::new(0.7 + (i % 10) as f64, 0.5 + j as f64 + (i / 10) as f64))
+                (0..2).map(move |j| {
+                    Point::new(0.7 + (i % 10) as f64, 0.5 + j as f64 + (i / 10) as f64)
+                })
             })
             .collect();
         let inst = Instance::new(pts);

@@ -316,16 +316,7 @@ fn rounds<W: WorldView>(
             Rc::new(move |p| own(p) && quad.contains(p) && owner_quadrant(&sq, p) == qi)
         };
         let covered_q = work[qi] == Work::Terminate;
-        rounds(
-            sim,
-            t,
-            knowledge,
-            quad,
-            own_q,
-            covered_q,
-            params,
-            depth + 1,
-        );
+        rounds(sim, t, knowledge, quad, own_q, covered_q, params, depth + 1);
     }
 }
 
@@ -431,8 +422,7 @@ mod tests {
             let inst = uniform_disk(n, radius, seed);
             let tuple = inst.admissible_tuple();
             let rep = run(&inst);
-            let bound =
-                tuple.rho + tuple.ell * tuple.ell * (tuple.rho / tuple.ell).max(2.0).log2();
+            let bound = tuple.rho + tuple.ell * tuple.ell * (tuple.rho / tuple.ell).max(2.0).log2();
             let ratio = rep.makespan / bound;
             assert!(
                 ratio < 60.0,

@@ -60,11 +60,7 @@ impl Team {
 
     /// Moves every member to `dest` and synchronizes; returns the common
     /// arrival time.
-    pub fn move_all<W: WorldView>(
-        &self,
-        sim: &mut Sim<W>,
-        dest: freezetag_geometry::Point,
-    ) -> f64 {
+    pub fn move_all<W: WorldView>(&self, sim: &mut Sim<W>, dest: freezetag_geometry::Point) -> f64 {
         for &r in &self.members {
             sim.move_to(r, dest);
         }

@@ -153,7 +153,11 @@ mod tests {
         let mut sim = single_robot_at(Point::new(3.0, -2.0));
         let out = spiral_search(&mut sim, RobotId::SOURCE, 32.0);
         assert_eq!(out.found.len(), 1);
-        assert!(out.final_width >= 6.0, "width {} too small", out.final_width);
+        assert!(
+            out.final_width >= 6.0,
+            "width {} too small",
+            out.final_width
+        );
     }
 
     #[test]

@@ -99,12 +99,7 @@ pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
     );
     let t0_bound = separator_bound(r, ell);
     let wakes_so_far = sim.schedule().wakes().len();
-    let mut frontier: Vec<RobotId> = sim
-        .schedule()
-        .wakes()
-        .iter()
-        .map(|w| w.target)
-        .collect();
+    let mut frontier: Vec<RobotId> = sim.schedule().wakes().iter().map(|w| w.target).collect();
     frontier.push(RobotId::SOURCE);
     let t_round0_end = sim.time(RobotId::SOURCE);
     sim.trace_mut().record(
@@ -174,7 +169,10 @@ pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
             }
         }
         let all_wakes = sim.schedule().wakes();
-        frontier = all_wakes[prev_wake_len..].iter().map(|w| w.target).collect();
+        frontier = all_wakes[prev_wake_len..]
+            .iter()
+            .map(|w| w.target)
+            .collect();
         prev_wake_len = all_wakes.len();
         sim.trace_mut().record(
             format!("wave/round{round}"),

@@ -40,7 +40,10 @@ impl GridIndex {
         );
         let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
-            buckets.entry(Self::key(*p, cell_width)).or_default().push(i);
+            buckets
+                .entry(Self::key(*p, cell_width))
+                .or_default()
+                .push(i);
         }
         GridIndex {
             points: points.to_vec(),

@@ -9,10 +9,7 @@ use freezetag_geometry::Point;
 /// Panics if `source` is out of range.
 pub fn radius(points: &[Point], source: usize) -> f64 {
     let s = points[source];
-    points
-        .iter()
-        .map(|p| p.dist(s))
-        .fold(0.0, f64::max)
+    points.iter().map(|p| p.dist(s)).fold(0.0, f64::max)
 }
 
 /// Connectivity threshold `ℓ*`: the least `δ` such that the δ-disk graph of

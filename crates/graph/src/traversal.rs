@@ -209,11 +209,7 @@ mod tests {
     fn dijkstra_prefers_direct_edges() {
         // Triangle: direct edge 0-2 shorter than through 1.
         let g = DiskGraph::new(
-            vec![
-                Point::ORIGIN,
-                Point::new(1.0, 1.0),
-                Point::new(1.4, 0.0),
-            ],
+            vec![Point::ORIGIN, Point::new(1.0, 1.0), Point::new(1.4, 0.0)],
             1.5,
         );
         let sp = dijkstra(&g, 0);

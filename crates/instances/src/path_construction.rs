@@ -48,7 +48,11 @@ pub fn theorem6_path(p: &Theorem6Params) -> Polyline {
     // Build whole sections until adding one more would exceed ξ.
     while j < sections.max(1) && total + h + v <= p.xi + freezetag_geometry::EPS {
         let y = j as f64 * v;
-        let (from_x, to_x) = if j.is_multiple_of(2) { (0.0, h) } else { (h, 0.0) };
+        let (from_x, to_x) = if j.is_multiple_of(2) {
+            (0.0, h)
+        } else {
+            (h, 0.0)
+        };
         poly.push(Point::new(to_x, y));
         poly.push(Point::new(to_x, y + v));
         let _ = from_x;
@@ -59,7 +63,11 @@ pub fn theorem6_path(p: &Theorem6Params) -> Polyline {
     let remaining = (p.xi - total).max(0.0);
     if remaining > freezetag_geometry::EPS {
         let y = j as f64 * v;
-        let (from_x, to_x) = if j.is_multiple_of(2) { (0.0, h) } else { (h, 0.0) };
+        let (from_x, to_x) = if j.is_multiple_of(2) {
+            (0.0, h)
+        } else {
+            (h, 0.0)
+        };
         let horizontal = remaining.min(h);
         let t = horizontal / h;
         let end_x = from_x + (to_x - from_x) * t;

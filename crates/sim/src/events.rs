@@ -188,7 +188,8 @@ impl<W: WorldView> EventSim<W> {
             light: 0,
             pending_sightings: None,
         });
-        self.queue.push(Reverse((time_key(0.0), RobotId::SOURCE.index())));
+        self.queue
+            .push(Reverse((time_key(0.0), RobotId::SOURCE.index())));
         while let Some(Reverse((_, idx))) = self.queue.pop() {
             let robot = RobotId::from_index(idx);
             if self.robots[idx].as_ref().is_none_or(|r| r.halted) {
@@ -248,7 +249,11 @@ impl<W: WorldView> EventSim<W> {
             }
             Action::WaitUntil(t) => {
                 self.schedule.timeline_mut(robot).wait_until(t);
-                let at = self.schedule.timeline(robot).expect("active").current_time();
+                let at = self
+                    .schedule
+                    .timeline(robot)
+                    .expect("active")
+                    .current_time();
                 self.queue.push(Reverse((time_key(at), robot.index())));
             }
             Action::SetLight(light) => {

@@ -87,9 +87,7 @@ impl Timeline {
 
     /// Current (latest) time.
     pub fn current_time(&self) -> f64 {
-        self.segments
-            .last()
-            .map_or(self.start_time, |s| s.end_time)
+        self.segments.last().map_or(self.start_time, |s| s.end_time)
     }
 
     /// Current (latest) position.
@@ -311,7 +309,8 @@ mod tests {
     fn schedule_bookkeeping() {
         let mut s = Schedule::new(2);
         s.activate(RobotId::SOURCE, 0.0, Point::ORIGIN);
-        s.timeline_mut(RobotId::SOURCE).move_to(Point::new(1.0, 0.0));
+        s.timeline_mut(RobotId::SOURCE)
+            .move_to(Point::new(1.0, 0.0));
         s.record_wake(WakeEvent {
             waker: RobotId::SOURCE,
             target: RobotId::sleeper(0),

@@ -35,7 +35,13 @@ impl Trace {
     }
 
     /// Records a span.
-    pub fn record(&mut self, label: impl Into<String>, start: f64, end: f64, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        label: impl Into<String>,
+        start: f64,
+        end: f64,
+        detail: impl Into<String>,
+    ) {
         self.spans.push(TraceSpan {
             label: label.into(),
             start,
@@ -51,7 +57,9 @@ impl Trace {
 
     /// Spans whose label starts with `prefix`.
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceSpan> {
-        self.spans.iter().filter(move |s| s.label.starts_with(prefix))
+        self.spans
+            .iter()
+            .filter(move |s| s.label.starts_with(prefix))
     }
 
     /// Sum of durations of spans with exactly this label.

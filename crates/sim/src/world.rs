@@ -132,7 +132,7 @@ impl WorldView for ConcreteWorld {
             .within(from, 1.0)
             .filter(|&i| {
                 match self.wake_times[i + 1] {
-                    None => true,                 // still asleep: visible
+                    None => true,                                    // still asleep: visible
                     Some(wt) => time < wt - freezetag_geometry::EPS, // woken later
                 }
             })

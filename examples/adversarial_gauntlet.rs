@@ -21,14 +21,20 @@ fn main() {
     let layout = theorem2_layout(ell, rho, 200);
     let n = layout.n();
     let tuple = AdmissibleTuple::new(ell, rho, n);
-    println!("layout: {n} hidden robots in disks of radius {:.1}", layout.disk_radius);
+    println!(
+        "layout: {n} hidden robots in disks of radius {:.1}",
+        layout.disk_radius
+    );
 
     let mut sim = Sim::new(AdversarialWorld::new(layout));
     run_algorithm(&mut sim, &tuple, Algorithm::Separator);
     assert!(sim.world().all_awake(), "adversarial robots all woken");
     let makespan = sim.schedule().makespan();
     let lower = bounds::separator_makespan_bound(rho, ell);
-    println!("makespan {makespan:.1} vs Ω-bound shape {lower:.1} (ratio {:.2})", makespan / lower);
+    println!(
+        "makespan {makespan:.1} vs Ω-bound shape {lower:.1} (ratio {:.2})",
+        makespan / lower
+    );
     println!("looks taken: {}", sim.world().look_count());
 
     println!();
@@ -60,7 +66,14 @@ fn main() {
     }
     println!(
         "searcher spent {spent:.1}/{budget:.1} energy; robot discovered: {}",
-        if found { "YES (unexpected!)" } else { "no — as Theorem 3 predicts" }
+        if found {
+            "YES (unexpected!)"
+        } else {
+            "no — as Theorem 3 predicts"
+        }
     );
-    assert!(!found, "Theorem 3 violated: under-budget searcher found the robot");
+    assert!(
+        !found,
+        "Theorem 3 violated: under-budget searcher found the robot"
+    );
 }

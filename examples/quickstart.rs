@@ -14,7 +14,13 @@ fn main() {
     let params = instance.params(Some(tuple.ell));
     let xi = params.xi_ell.expect("generated instances are connected");
 
-    println!("instance: n={} ρ*={:.2} ℓ*={:.2} ξ_ℓ={:.2}", instance.n(), params.rho_star, params.ell_star, xi);
+    println!(
+        "instance: n={} ρ*={:.2} ℓ*={:.2} ξ_ℓ={:.2}",
+        instance.n(),
+        params.rho_star,
+        params.ell_star,
+        xi
+    );
     println!("input tuple: {tuple}");
     println!();
     println!(

@@ -23,7 +23,10 @@ fn main() {
     println!("=== ASeparator phase trace (Figures 1–2 data) ===");
     println!("instance: n={} tuple {tuple}", instance.n());
     println!();
-    println!("{:<20} {:>8} {:>12} {:>12}", "phase", "spans", "total-time", "share-%");
+    println!(
+        "{:<20} {:>8} {:>12} {:>12}",
+        "phase", "spans", "total-time", "share-%"
+    );
     let mut agg: BTreeMap<String, (f64, usize)> = BTreeMap::new();
     for s in report.trace.spans() {
         let e = agg.entry(s.label.clone()).or_insert((0.0, 0));
@@ -43,7 +46,10 @@ fn main() {
     println!();
     println!("first spans in order (recruit → explore-sep → recruit → …):");
     for s in report.trace.spans().iter().take(8) {
-        println!("  [{:>8.1} → {:>8.1}] {:<18} {}", s.start, s.end, s.label, s.detail);
+        println!(
+            "  [{:>8.1} → {:>8.1}] {:<18} {}",
+            s.start, s.end, s.label, s.detail
+        );
     }
 
     // SVG: trajectories + the round-1 quadrant squares (Figure 1c/2c).

@@ -36,8 +36,14 @@ fn main() {
 
     let budgets = [
         (Algorithm::Separator, f64::INFINITY),
-        (Algorithm::Grid, 80.0 * bounds::grid_energy_shape(tuple.ell) + 100.0),
-        (Algorithm::Wave, 800.0 * bounds::wave_energy_shape(tuple.ell) + 500.0),
+        (
+            Algorithm::Grid,
+            80.0 * bounds::grid_energy_shape(tuple.ell) + 100.0,
+        ),
+        (
+            Algorithm::Wave,
+            800.0 * bounds::wave_energy_shape(tuple.ell) + 500.0,
+        ),
     ];
     for (alg, budget) in budgets {
         let report = solve(&instance, &tuple, alg).expect("valid run");

@@ -140,7 +140,12 @@ fn print_report(inst: &Instance, alg: Algorithm) -> Result<(), String> {
         Algorithm::Wave => bounds::wave_makespan_bound(xi, tuple.ell),
     };
     println!("{alg} on n={} (tuple {tuple}):", inst.n());
-    println!("  makespan    {:>12.2}  (bound {:.1}, ratio {:.2})", rep.makespan, bound, rep.makespan / bound);
+    println!(
+        "  makespan    {:>12.2}  (bound {:.1}, ratio {:.2})",
+        rep.makespan,
+        bound,
+        rep.makespan / bound
+    );
     println!("  completion  {:>12.2}", rep.completion_time);
     println!("  max energy  {:>12.2}", rep.max_energy);
     println!("  total energy{:>12.2}", rep.total_energy);
@@ -155,8 +160,7 @@ fn run(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
         "solve" => {
             let alg = parse_alg(opts)?;
             let strategy = parse_strategy(opts)?;
-            if alg == Algorithm::Separator
-                && strategy != freezetag::central::WakeStrategy::Quadtree
+            if alg == Algorithm::Separator && strategy != freezetag::central::WakeStrategy::Quadtree
             {
                 // Ablation path: run ASeparator with the chosen Lemma 2
                 // substitute (only the unconstrained algorithm may deviate

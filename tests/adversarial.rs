@@ -160,7 +160,9 @@ fn adversary_never_reveals_prematurely() {
         let first_seen = world
             .log
             .iter()
-            .position(|(p, _, seen)| seen.contains(&RobotId::sleeper(i)) && p.dist(pos) <= 1.0 + 1e-9)
+            .position(|(p, _, seen)| {
+                seen.contains(&RobotId::sleeper(i)) && p.dist(pos) <= 1.0 + 1e-9
+            })
             .unwrap_or(usize::MAX);
         for (k, (p, _, _)) in world.log.iter().enumerate() {
             if k < first_seen {

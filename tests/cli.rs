@@ -1,0 +1,139 @@
+//! Integration tests for the `dftp` command-line driver: the documented
+//! subcommands succeed on small deterministic instances, and malformed
+//! invocations fail with usage text on stderr.
+
+use std::process::{Command, Output};
+
+fn dftp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dftp"))
+        .args(args)
+        .output()
+        .expect("failed to spawn dftp")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn solve_separator_on_disk_succeeds() {
+    let out = dftp(&[
+        "solve",
+        "--alg",
+        "separator",
+        "--gen",
+        "disk",
+        "--n",
+        "50",
+        "--radius",
+        "10",
+        "--seed",
+        "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("ASeparator"),
+        "missing algorithm name: {text}"
+    );
+    assert!(text.contains("makespan"), "missing makespan line: {text}");
+    assert!(text.contains("all awake"), "missing all-awake line: {text}");
+    assert!(text.contains("true"), "robots left asleep: {text}");
+}
+
+#[test]
+fn solve_is_deterministic_for_a_seed() {
+    let args = [
+        "solve", "--alg", "grid", "--gen", "disk", "--n", "40", "--radius", "8", "--seed", "7",
+    ];
+    let a = dftp(&args);
+    let b = dftp(&args);
+    assert!(a.status.success());
+    assert_eq!(stdout(&a), stdout(&b), "same seed must reproduce the run");
+}
+
+#[test]
+fn params_reports_instance_parameters() {
+    let out = dftp(&[
+        "params",
+        "--gen",
+        "lattice",
+        "--side",
+        "5",
+        "--spacing",
+        "1.5",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["n     =", "ρ*", "ℓ*", "tuple"] {
+        assert!(text.contains(needle), "missing `{needle}` in: {text}");
+    }
+}
+
+#[test]
+fn compare_runs_all_three_algorithms() {
+    let out = dftp(&[
+        "compare",
+        "--gen",
+        "snake",
+        "--legs",
+        "2",
+        "--leg",
+        "12",
+        "--spacing",
+        "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for alg in ["ASeparator", "AGrid", "AWave"] {
+        assert!(
+            text.contains(alg),
+            "missing {alg} in compare output: {text}"
+        );
+    }
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = dftp(&[]);
+    assert!(!out.status.success(), "bare invocation must fail");
+    assert!(stderr(&out).contains("usage:"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dftp(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_algorithm_fails_with_usage() {
+    let out = dftp(&["solve", "--alg", "teleport", "--gen", "disk"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown algorithm"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn malformed_flag_value_fails_with_usage() {
+    let out = dftp(&["solve", "--gen", "disk", "--n", "not-a-number"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("--n expects"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn dangling_flag_fails_with_usage() {
+    let out = dftp(&["solve", "--gen"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"), "stderr: {}", stderr(&out));
+}

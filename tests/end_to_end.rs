@@ -149,8 +149,7 @@ fn off_origin_sources_work() {
     );
     let tuple = shifted.admissible_tuple();
     for alg in ALGS {
-        let rep = solve(&shifted, &tuple, alg)
-            .unwrap_or_else(|e| panic!("offset/{alg}: {e}"));
+        let rep = solve(&shifted, &tuple, alg).unwrap_or_else(|e| panic!("offset/{alg}: {e}"));
         assert!(rep.all_awake, "offset/{alg}: robots left asleep");
     }
     // And the makespans match the origin-centred run (same tuple).

@@ -142,7 +142,9 @@ fn exploration_work_grows_superlinearly() {
     let big = grid_lattice(6, 6, 4.0);
     let ts = small.admissible_tuple();
     let tb = big.admissible_tuple();
-    let e_small = solve(&small, &ts, Algorithm::Separator).unwrap().total_energy;
+    let e_small = solve(&small, &ts, Algorithm::Separator)
+        .unwrap()
+        .total_energy;
     let e_big = solve(&big, &tb, Algorithm::Separator).unwrap().total_energy;
     let rho_ratio = tb.rho / ts.rho;
     assert!(

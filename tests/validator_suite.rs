@@ -69,7 +69,9 @@ fn wake_before_waker_is_awake_is_caught() {
     let inst = Instance::new(vec![Point::new(1.0, 0.0), Point::new(1.0, 0.5)]);
     let mut schedule = Schedule::new(2);
     schedule.activate(RobotId::SOURCE, 0.0, Point::ORIGIN);
-    schedule.timeline_mut(RobotId::SOURCE).move_to(Point::new(1.0, 0.0));
+    schedule
+        .timeline_mut(RobotId::SOURCE)
+        .move_to(Point::new(1.0, 0.0));
     schedule.record_wake(WakeEvent {
         waker: RobotId::SOURCE,
         target: RobotId::sleeper(0),
@@ -118,7 +120,9 @@ fn superluminal_motion_is_caught() {
     // speed test through the test-only tamper hook exercised in the sim
     // crate. Here: a *teleporting* wake position (event at the robot's
     // position while the waker path ends elsewhere).
-    schedule.timeline_mut(RobotId::SOURCE).move_to(Point::new(1.0, 0.0));
+    schedule
+        .timeline_mut(RobotId::SOURCE)
+        .move_to(Point::new(1.0, 0.0));
     schedule.record_wake(WakeEvent {
         waker: RobotId::SOURCE,
         target: RobotId::sleeper(0),
