@@ -8,15 +8,19 @@
 //! 3. discovery primitives — spiral vs k-team doubling search, the
 //!    `Θ(D + D²/k)` from the paper's introduction.
 //!
+//! Ablations 1, 1b and 1c are experiment plans over `freezetag-exp`
+//! (the engine runs the centralized baselines and the strategy-overridden
+//! `ASeparator` directly); ablations 2–3 drive the simulator by hand —
+//! they measure sweep/search primitives, not algorithms.
+//!
 //! Run with: `cargo run --release -p freezetag-bench --bin ablation`
 
-use freezetag_bench::{f1, f2, header, row};
-use freezetag_central::{
-    chain_wake_tree, greedy_wake_tree, median_wake_tree, optimal_makespan, quadtree_wake_tree,
-};
+use freezetag_bench::{default_threads, f1, f2, header, row};
+use freezetag_central::WakeStrategy;
 use freezetag_core::{spiral_search, team_search};
+use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
 use freezetag_geometry::{Point, Rect};
-use freezetag_instances::generators::{clustered, uniform_disk};
+use freezetag_instances::generators::uniform_disk;
 use freezetag_instances::Instance;
 use freezetag_sim::{ConcreteWorld, RobotId, Sim};
 
@@ -27,42 +31,42 @@ fn main() {
     discovery_primitives();
 }
 
-/// The same ablation *inside* the full distributed algorithm: `ASeparator`
-/// with each Lemma 2 substitute plugged into its terminating rounds.
-fn end_to_end_strategy() {
-    use freezetag_central::WakeStrategy;
-    use freezetag_core::{a_separator, ASeparatorConfig};
-    use freezetag_sim::WorldView;
-    println!("\n## Ablation 1b — ASeparator end-to-end, per wake strategy\n");
-    header(&["workload", "quadtree", "greedy", "median", "chain"]);
-    for (label, inst) in [
-        ("disk n=120", uniform_disk(120, 20.0, 5)),
-        ("clusters", clustered(4, 30, 1.5, 20.0, 6)),
-    ] {
-        let tuple = inst.admissible_tuple();
-        let mut cells = vec![label.to_string()];
-        for strategy in WakeStrategy::ALL {
-            let mut sim = Sim::new(ConcreteWorld::new(&inst));
-            a_separator(&mut sim, &ASeparatorConfig { tuple, strategy });
-            assert!(sim.world().all_awake());
-            cells.push(f1(sim.schedule().makespan()));
-        }
-        row(&cells);
-    }
-    println!("\nconclusion: the distributed layers dominate the runtime, but the");
-    println!("chain substitute still loses measurably — Lemma 2's O(R) matters.");
-}
-
-fn items_of(inst: &Instance) -> Vec<(RobotId, Point)> {
-    inst.positions()
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (RobotId::sleeper(i), p))
-        .collect()
-}
+const STRATEGIES: [WakeStrategy; 4] = [
+    WakeStrategy::Chain,
+    WakeStrategy::Greedy,
+    WakeStrategy::MedianSplit,
+    WakeStrategy::Quadtree,
+];
 
 fn central_strategies() {
     println!("\n## Ablation 1 — centralized wake-up strategies (makespan)\n");
+    let mut plan = ExperimentPlan::new("ablation-central");
+    for strategy in STRATEGIES {
+        plan = plan.algorithm(AlgSpec::Central(strategy));
+    }
+    let plan = plan
+        .scenario(
+            ScenarioSpec::new("uniform_disk")
+                .with("n", 150.0)
+                .with("radius", 25.0)
+                .named("uniform"),
+        )
+        .scenario(
+            ScenarioSpec::new("clustered")
+                .with("clusters", 4.0)
+                .with("per", 35.0)
+                .with("cradius", 1.5)
+                .with("spread", 25.0)
+                .named("clustered"),
+        )
+        .scenario(
+            ScenarioSpec::new("skewed")
+                .with("n", 100.0)
+                .with("radius", 3.0)
+                .with("far", 80.0)
+                .named("skewed"),
+        );
+    let results = run_plan(&plan, default_threads()).expect("plans run");
     header(&[
         "workload",
         "n",
@@ -71,39 +75,77 @@ fn central_strategies() {
         "median",
         "quadtree(ours)",
     ]);
-    let workloads: Vec<(&str, Instance)> = vec![
-        ("uniform", uniform_disk(150, 25.0, 11)),
-        ("clustered", clustered(4, 35, 1.5, 25.0, 12)),
-        ("skewed", {
-            let mut pts: Vec<Point> = uniform_disk(100, 3.0, 13).positions().to_vec();
-            pts.push(Point::new(80.0, 80.0));
-            Instance::new(pts)
-        }),
-    ];
-    for (label, inst) in &workloads {
-        let items = items_of(inst);
-        row(&[
-            label.to_string(),
-            items.len().to_string(),
-            f1(chain_wake_tree(Point::ORIGIN, &items).makespan()),
-            f1(greedy_wake_tree(Point::ORIGIN, &items).makespan()),
-            f1(median_wake_tree(Point::ORIGIN, &items).makespan()),
-            f1(quadtree_wake_tree(Point::ORIGIN, &items).makespan()),
-        ]);
+    for cell in results.chunks(STRATEGIES.len()) {
+        let mut cells = vec![cell[0].scenario.clone(), cell[0].n.to_string()];
+        cells.extend(cell.iter().map(|r| f1(r.makespan)));
+        row(&cells);
     }
+
     println!("\ntiny inputs vs the exact optimum (branch & bound):");
-    header(&["n", "optimal", "quadtree", "greedy", "quadtree/opt"]);
+    let mut tiny = ExperimentPlan::new("ablation-central-optimal")
+        .algorithm(AlgSpec::CentralOptimal)
+        .algorithm(AlgSpec::Central(WakeStrategy::Quadtree))
+        .algorithm(AlgSpec::Central(WakeStrategy::Greedy));
     for n in [4usize, 6, 8] {
-        let inst = uniform_disk(n, 5.0, 40 + n as u64);
-        let items = items_of(&inst);
-        let opt = optimal_makespan(Point::ORIGIN, inst.positions());
-        let quad = quadtree_wake_tree(Point::ORIGIN, &items).makespan();
-        let greedy = greedy_wake_tree(Point::ORIGIN, &items).makespan();
-        row(&[n.to_string(), f2(opt), f2(quad), f2(greedy), f2(quad / opt)]);
+        tiny = tiny.scenario(
+            ScenarioSpec::new("uniform_disk")
+                .with("n", n as f64)
+                .with("radius", 5.0)
+                .named(&format!("disk n={n}")),
+        );
+    }
+    let results = run_plan(&tiny, default_threads()).expect("plans run");
+    header(&["n", "optimal", "quadtree", "greedy", "quadtree/opt"]);
+    for cell in results.chunks(3) {
+        let (opt, quad, greedy) = (cell[0].makespan, cell[1].makespan, cell[2].makespan);
+        row(&[
+            cell[0].n.to_string(),
+            f2(opt),
+            f2(quad),
+            f2(greedy),
+            f2(quad / opt),
+        ]);
     }
     println!("\nconclusion: the midline quadtree is the only variant that is");
     println!("simultaneously O(R) on skewed inputs and close to optimal on");
     println!("small ones — hence our Lemma 2 substitute (DESIGN.md §5).");
+}
+
+/// The same ablation *inside* the full distributed algorithm: `ASeparator`
+/// with each Lemma 2 substitute plugged into its terminating rounds.
+fn end_to_end_strategy() {
+    println!("\n## Ablation 1b — ASeparator end-to-end, per wake strategy\n");
+    let mut plan = ExperimentPlan::new("ablation-end-to-end");
+    for strategy in WakeStrategy::ALL {
+        plan = plan.algorithm(AlgSpec::separator_with(strategy));
+    }
+    let plan = plan
+        .scenario(
+            ScenarioSpec::new("uniform_disk")
+                .with("n", 120.0)
+                .with("radius", 20.0)
+                .named("disk n=120"),
+        )
+        .scenario(
+            ScenarioSpec::new("clustered")
+                .with("clusters", 4.0)
+                .with("per", 30.0)
+                .with("cradius", 1.5)
+                .with("spread", 20.0)
+                .named("clusters"),
+        );
+    let results = run_plan(&plan, default_threads()).expect("plans run");
+    header(&["workload", "quadtree", "greedy", "median", "chain"]);
+    for cell in results.chunks(WakeStrategy::ALL.len()) {
+        let mut cells = vec![cell[0].scenario.clone()];
+        for r in cell {
+            assert!(r.all_awake, "{} left robots asleep", r.algorithm);
+            cells.push(f1(r.makespan));
+        }
+        row(&cells);
+    }
+    println!("\nconclusion: the distributed layers dominate the runtime, but the");
+    println!("chain substitute still loses measurably — Lemma 2's O(R) matters.");
 }
 
 fn sweep_spacing() {

@@ -7,19 +7,23 @@
 //!   `O(wh + w + h)` single-sweep line (Fig. 4a);
 //! * exploration time vs team size `k` on a fixed rectangle — the
 //!   `O(wh/k + w + h)` collaborative speed-up (Fig. 4b);
-//! * centralized wake makespan / region width — the Lemma 2 `c·R`
-//!   constant (our quadtree substitute for the paper's 5R algorithm).
+//! * centralized wake makespan / region size — the Lemma 2 `c·R`
+//!   constant (our quadtree substitute for the paper's 5R algorithm),
+//!   measured by an experiment plan over the engine's centralized
+//!   executor.
+//!
+//! The Figure 4a/4b sweeps drive the simulator by hand — they measure the
+//! exploration *primitive* (Lemma 1), which sits below the engine's
+//! algorithm granularity.
 //!
 //! Run with: `cargo run --release -p freezetag-bench --bin fig_explore`
 
-use freezetag_bench::{f1, f2, header, row};
-use freezetag_central::quadtree_wake_tree;
+use freezetag_bench::{default_threads, f1, f2, header, row};
+use freezetag_central::WakeStrategy;
+use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
 use freezetag_geometry::{Point, Rect, SQRT_2};
-use freezetag_instances::generators::uniform_disk;
 use freezetag_instances::Instance;
 use freezetag_sim::{ConcreteWorld, RobotId, Sim};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     single_sweep();
@@ -103,43 +107,43 @@ fn collaborative() {
 }
 
 fn lemma2_constant() {
-    println!("\n## Lemma 2 — centralized wake of a width-R square in c·R\n");
+    println!("\n## Lemma 2 — centralized wake of a radius-R/2 disk in c·R\n");
+    let radii = [8.0, 16.0, 32.0, 64.0, 128.0];
+    let mut plan =
+        ExperimentPlan::new("fig4-lemma2").algorithm(AlgSpec::Central(WakeStrategy::Quadtree));
+    for &r in &radii {
+        plan = plan.scenario(
+            ScenarioSpec::new("uniform_disk")
+                .with("n", 150.0)
+                .with("radius", r / 2.0)
+                .named(&format!("R={r}")),
+        );
+    }
+    let results = run_plan(&plan, default_threads()).expect("plans run");
     header(&["R", "n", "tree makespan", "makespan/R"]);
-    let mut rng = StdRng::seed_from_u64(5);
-    for &r in &[8.0, 16.0, 32.0, 64.0, 128.0] {
-        let n = 150;
-        let items: Vec<(RobotId, Point)> = (0..n)
-            .map(|i| {
-                (
-                    RobotId::sleeper(i),
-                    Point::new(
-                        rng.gen_range(-r / 2.0..=r / 2.0),
-                        rng.gen_range(-r / 2.0..=r / 2.0),
-                    ),
-                )
-            })
-            .collect();
-        let tree = quadtree_wake_tree(Point::ORIGIN, &items);
+    for (r, &radius) in results.iter().zip(&radii) {
         row(&[
-            f1(r),
-            n.to_string(),
-            f1(tree.makespan()),
-            f2(tree.makespan() / r),
+            f1(radius),
+            r.n.to_string(),
+            f1(r.makespan),
+            f2(r.makespan / radius),
         ]);
     }
     println!("\nshape check: makespan/R constant (paper's Lemma 2 constant is 5;");
     println!("our quadtree substitute measures the column above — see DESIGN.md).");
-    // Smoke: greedy baseline comparison on one instance.
-    let inst = uniform_disk(100, 20.0, 3);
-    let items: Vec<(RobotId, Point)> = inst
-        .positions()
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (RobotId::sleeper(i), p))
-        .collect();
-    let quad = quadtree_wake_tree(Point::ORIGIN, &items).makespan();
-    let greedy = freezetag_central::greedy_wake_tree(Point::ORIGIN, &items).makespan();
+
+    // Smoke: greedy baseline comparison on one instance, same engine path.
+    let baseline = ExperimentPlan::new("fig4-lemma2-baseline")
+        .scenario(
+            ScenarioSpec::new("uniform_disk")
+                .with("n", 100.0)
+                .with("radius", 20.0),
+        )
+        .algorithm(AlgSpec::Central(WakeStrategy::Quadtree))
+        .algorithm(AlgSpec::Central(WakeStrategy::Greedy));
+    let results = run_plan(&baseline, default_threads()).expect("plans run");
     println!(
-        "\nbaseline: quadtree {quad:.1} vs greedy {greedy:.1} on a uniform disk (n=100, ρ=20)"
+        "\nbaseline: quadtree {:.1} vs greedy {:.1} on a uniform disk (n=100, ρ=20)",
+        results[0].makespan, results[1].makespan
     );
 }

@@ -1,8 +1,9 @@
 //! Regenerates **Figure 5** of the paper: the lower-bound constructions.
 //!
-//! * Theorem 2 (Fig. 5a): the grid-of-disks adversarial layout — rendered
-//!   to SVG, and the `ℓ² log m` growth measured by running `ASeparator`
-//!   against the adaptive adversary while sweeping the disk count `m`.
+//! * Theorem 2 (Fig. 5a): the grid-of-disks adversarial layout — the
+//!   `ℓ² log m` growth measured by an experiment plan running `ASeparator`
+//!   against the adaptive adversary while sweeping the disk count `m`,
+//!   then one engine `run_single` rendered to SVG.
 //! * Theorem 6: the rectilinear-path construction with prescribed
 //!   eccentricity ξ — `AGrid`/`AWave` makespans against the
 //!   `Ω(ξ + ℓ² log(ξ/ℓ))` shape while ξ sweeps its admissible range.
@@ -10,13 +11,11 @@
 //! Run with: `cargo run --release -p freezetag-bench --bin fig_lowerbound`
 //! Output:   `target/fig_lowerbound.svg`
 
-use freezetag_bench::{f1, f2, header, row};
-use freezetag_core::{bounds, run_algorithm, solve, Algorithm};
-use freezetag_instances::adversarial::theorem2_layout;
-use freezetag_instances::path_construction::{theorem6_instance, Theorem6Params};
-use freezetag_instances::AdmissibleTuple;
+use freezetag_bench::{default_threads, f1, f2, header, row, theorem2_scenario};
+use freezetag_core::{bounds, Algorithm};
+use freezetag_exp::{run_plan, run_single, AlgSpec, ExperimentPlan, ScenarioSpec};
+use freezetag_instances::path_construction::Theorem6Params;
 use freezetag_sim::svg::{render_run, SvgOptions};
-use freezetag_sim::{AdversarialWorld, Sim, WorldView};
 
 fn main() {
     theorem2_series();
@@ -25,6 +24,12 @@ fn main() {
 
 fn theorem2_series() {
     println!("\n## Figure 5a / Theorem 2 — adversarial grid of disks\n");
+    let ell = 4.0;
+    let mut plan = ExperimentPlan::new("fig5a-theorem2").algorithm(Algorithm::Separator);
+    for &rho in &[16.0, 32.0, 64.0] {
+        plan = plan.scenario(theorem2_scenario(ell, rho, 100_000));
+    }
+    let results = run_plan(&plan, default_threads()).expect("valid runs");
     header(&[
         "ℓ",
         "ρ",
@@ -34,47 +39,38 @@ fn theorem2_series() {
         "ratio",
         "pinned late?",
     ]);
-    let ell = 4.0;
-    for &rho in &[16.0, 32.0, 64.0] {
-        let layout = theorem2_layout(ell, rho, 100_000);
-        let m = layout.n();
-        let tuple = AdmissibleTuple::new(ell, rho, m);
-        let mut sim = Sim::new(AdversarialWorld::new(layout));
-        run_algorithm(&mut sim, &tuple, Algorithm::Separator);
-        assert!(sim.world().all_awake());
-        let makespan = sim.schedule().makespan();
-        let shape = rho + ell * ell * (m as f64).log2();
+    for r in &results {
+        assert!(r.all_awake, "adversarial robots must all wake");
+        let shape = r.rho + r.ell * r.ell * (r.n as f64).log2();
         row(&[
-            f1(ell),
-            f1(rho),
-            m.to_string(),
-            f1(makespan),
+            f1(r.ell),
+            f1(r.rho),
+            r.n.to_string(),
+            f1(r.makespan),
             f1(shape),
-            f2(makespan / shape),
+            f2(r.makespan / shape),
             "yes (adaptive)".into(),
         ]);
     }
     println!("\nshape check: ratio bounded while m grows ~4× per row — the");
     println!("measured makespan carries the Ω(ℓ² log m) adversarial term.");
 
-    // Render the construction itself (Figure 5a).
-    let layout = theorem2_layout(4.0, 32.0, 100_000);
-    let tuple = AdmissibleTuple::new(4.0, 32.0, layout.n());
-    let mut sim = Sim::new(AdversarialWorld::new(layout));
-    run_algorithm(&mut sim, &tuple, Algorithm::Separator);
-    let world = sim.world();
-    let positions = world
-        .final_positions()
-        .expect("all robots pinned by the end");
-    let (_, schedule, _) = {
-        let (w, s, t) = sim.into_parts();
-        let _ = w;
-        ((), s, t)
-    };
+    // Render the construction itself (Figure 5a): one engine run with the
+    // full schedule and the adversary's revealed positions.
+    let run = run_single(
+        &theorem2_scenario(4.0, 32.0, 100_000),
+        AlgSpec::from(Algorithm::Separator),
+        1,
+    )
+    .expect("valid run");
+    assert!(
+        !run.positions.is_empty(),
+        "all robots pinned by the end of the run"
+    );
     let svg = render_run(
-        freezetag_geometry::Point::ORIGIN,
-        &positions,
-        Some(&schedule),
+        run.source,
+        &run.positions,
+        Some(&run.schedule),
         &[],
         &SvgOptions::default(),
     );
@@ -85,6 +81,37 @@ fn theorem2_series() {
 
 fn theorem6_series() {
     println!("\n## Theorem 6 — prescribed-eccentricity path, Ω(ξ + ℓ² log(ξ/ℓ))\n");
+    let p0 = Theorem6Params {
+        ell: 1.0,
+        rho: 40.0,
+        budget: 3.0,
+        xi: 40.0,
+    };
+    let mut targets = Vec::new();
+    let mut plan = ExperimentPlan::new("fig5-theorem6")
+        .algorithm(Algorithm::Grid)
+        .algorithm(Algorithm::Wave);
+    for &xi in &[40.0, 80.0, 160.0] {
+        let cap = p0.rho * p0.rho / (2.0 * (p0.budget + 1.0)) + 1.0;
+        if xi > cap {
+            println!("(ξ={xi} beyond the geometric cap {cap:.0} — skipped, Eq. 15)");
+            continue;
+        }
+        targets.push(xi);
+        plan = plan.scenario(
+            ScenarioSpec::new("theorem6")
+                .with("ell", p0.ell)
+                .with("rho", p0.rho)
+                .with("budget", p0.budget)
+                .with("xi", xi)
+                .named(&format!("thm6 ξ={xi}")),
+        );
+    }
+    if targets.is_empty() {
+        println!("(every ξ exceeded the geometric cap — nothing to run)");
+        return;
+    }
+    let results = run_plan(&plan, default_threads()).expect("valid runs");
     header(&[
         "ξ (target)",
         "ξ_ℓ (measured)",
@@ -93,33 +120,18 @@ fn theorem6_series() {
         "Ω-shape",
         "ratio",
     ]);
-    let p0 = Theorem6Params {
-        ell: 1.0,
-        rho: 40.0,
-        budget: 3.0,
-        xi: 40.0,
-    };
-    for &xi in &[40.0, 80.0, 160.0] {
-        let params = Theorem6Params { xi, ..p0 };
-        let cap = params.rho * params.rho / (2.0 * (params.budget + 1.0)) + 1.0;
-        if xi > cap {
-            println!("(ξ={xi} beyond the geometric cap {cap:.0} — skipped, Eq. 15)");
-            continue;
-        }
-        let inst = theorem6_instance(&params);
-        let tuple = inst.admissible_tuple();
-        let xi_m = inst.params(Some(tuple.ell)).xi_ell.expect("path connected");
-        for alg in [Algorithm::Grid, Algorithm::Wave] {
-            let rep = solve(&inst, &tuple, alg).expect("valid run");
-            assert!(rep.all_awake);
-            let shape = bounds::wave_makespan_bound(xi_m, tuple.ell);
+    for (cell, &xi) in results.chunks(plan.algorithms.len()).zip(&targets) {
+        for r in cell {
+            assert!(r.all_awake);
+            let xi_m = r.xi_ell.expect("path connected");
+            let shape = bounds::wave_makespan_bound(xi_m, r.ell);
             row(&[
                 f1(xi),
                 f1(xi_m),
-                alg.to_string(),
-                f1(rep.makespan),
+                r.algorithm.clone(),
+                f1(r.makespan),
                 f1(shape),
-                f2(rep.makespan / shape),
+                f2(r.makespan / shape),
             ]);
         }
     }

@@ -3,28 +3,35 @@
 //! exploration, recruitment, merge/reorganization, next round), as
 //! per-depth phase timings plus SVG snapshots.
 //!
+//! The run itself goes through the experiment engine (`exp::run_single`,
+//! which also validates the schedule); this binary only analyses the
+//! returned trace/schedule and renders the SVG.
+//!
 //! Run with: `cargo run --release -p freezetag-bench --bin fig_phases`
 //! Output:   `target/fig_phases.svg`
 
 use freezetag_bench::{f1, header, row};
-use freezetag_core::{run_algorithm, Algorithm};
+use freezetag_core::Algorithm;
+use freezetag_exp::{run_single, AlgSpec, ScenarioSpec};
 use freezetag_geometry::{Rect, Square};
-use freezetag_instances::generators::grid_lattice;
 use freezetag_sim::svg::{render_run, SvgOptions};
-use freezetag_sim::{ConcreteWorld, Sim, WorldView};
 use std::collections::BTreeMap;
 
 fn main() {
     // The Figure 1/2 regime: ρ/ℓ large enough for several partition
     // rounds.
-    let inst = grid_lattice(20, 20, 2.0);
-    let tuple = inst.admissible_tuple();
-    println!("instance: 20×20 lattice, spacing 2 — tuple {tuple}");
-
-    let mut sim = Sim::new(ConcreteWorld::new(&inst));
-    run_algorithm(&mut sim, &tuple, Algorithm::Separator);
-    assert!(sim.world().all_awake());
-    let (_, schedule, trace) = sim.into_parts();
+    let scenario = ScenarioSpec::new("grid_lattice")
+        .with("side", 20.0)
+        .with("spacing", 2.0)
+        .named("lattice 20×20");
+    let run = run_single(&scenario, AlgSpec::from(Algorithm::Separator), 1).expect("valid run");
+    assert!(run.report.all_awake);
+    println!(
+        "instance: 20×20 lattice, spacing 2 — tuple (ℓ={}, ρ={}, n={})",
+        run.ell, run.rho, run.n
+    );
+    let trace = &run.report.trace;
+    let schedule = &run.schedule;
 
     println!("\n## Figures 1–2 — phase spans per recursion depth\n");
     header(&[
@@ -76,7 +83,7 @@ fn main() {
     );
 
     // SVG with the recursive square structure (Figure 1c / 2c visuals).
-    let big = Square::new(inst.source(), 2.0 * tuple.rho);
+    let big = Square::new(run.source, 2.0 * run.rho);
     let mut rects: Vec<Rect> = vec![big.to_rect()];
     for q in big.quadrants() {
         rects.push(q.to_rect());
@@ -85,9 +92,9 @@ fn main() {
         }
     }
     let svg = render_run(
-        inst.source(),
-        inst.positions(),
-        Some(&schedule),
+        run.source,
+        &run.positions,
+        Some(schedule),
         &rects,
         &SvgOptions::default(),
     );

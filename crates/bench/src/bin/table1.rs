@@ -2,6 +2,13 @@
 //! algorithms against their theoretical bounds, plus the two lower-bound
 //! rows (energy infeasibility and the Ω shapes).
 //!
+//! Every algorithm measurement is an `ExperimentPlan` executed by the
+//! `freezetag-exp` engine; this binary only declares the scenarios and
+//! renders the rows (bounds are recomputed from the per-job `(ℓ, ρ, ξ_ℓ)`
+//! reported by the engine). The Theorem 3 budget probe and the Section 5
+//! radius estimation drive the simulator directly — they measure
+//! primitives below the engine's algorithm granularity.
+//!
 //! Absolute constants differ from the authors' (different exploration and
 //! wake-tree constants); the *shape* — bounded measured/bound ratios across
 //! the sweeps, who wins where, the energy hierarchy — is the reproduction
@@ -9,13 +16,15 @@
 //!
 //! Run with: `cargo run --release -p freezetag-bench --bin table1`
 
-use freezetag_bench::{f1, f2, header, lattice_with, row, snake_with};
-use freezetag_core::bounds;
-use freezetag_core::{run_algorithm, solve, Algorithm};
+use freezetag_bench::{
+    default_threads, f1, f2, header, lattice_scenario, render_aggregates, row, snake_scenario,
+    theorem2_scenario,
+};
+use freezetag_core::{bounds, Algorithm};
+use freezetag_exp::{aggregate, run_plan, ExperimentPlan, JobResult};
 use freezetag_geometry::Point;
-use freezetag_instances::adversarial::{theorem2_layout, theorem3_layout};
-use freezetag_instances::AdmissibleTuple;
-use freezetag_sim::{AdversarialWorld, RobotId, Sim, WorldView};
+use freezetag_instances::adversarial::theorem3_layout;
+use freezetag_sim::{AdversarialWorld, RobotId, Sim};
 
 fn main() {
     section_aseparator();
@@ -24,6 +33,87 @@ fn main() {
     section_infeasibility();
     section_lower_bounds();
     section_radius_approx();
+}
+
+/// Table 1, row 1: `ASeparator` makespan `O(ρ + ℓ² log(ρ/ℓ))`.
+fn section_aseparator() {
+    println!("\n## Table 1, row 1 — ASeparator, makespan O(ρ + ℓ² log(ρ/ℓ))\n");
+    let mut plan = ExperimentPlan::new("table1-aseparator").algorithm(Algorithm::Separator);
+    for &ell in &[1.0, 2.0, 4.0] {
+        for &ratio in &[8.0, 16.0, 32.0] {
+            plan = plan.scenario(lattice_scenario(ell, ell * ratio));
+        }
+    }
+    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    header(&["ℓ", "ρ", "n", "makespan", "bound", "ratio", "max-energy"]);
+    for r in &results {
+        assert!(r.all_awake);
+        let bound = bounds::separator_makespan_bound(r.rho, r.ell);
+        row(&[
+            f1(r.ell),
+            f1(r.rho),
+            r.n.to_string(),
+            f1(r.makespan),
+            f1(bound),
+            f2(r.makespan / bound),
+            f1(r.max_energy),
+        ]);
+    }
+    println!("\nshape check: the ratio column stays bounded as ρ/ℓ doubles →");
+    println!("the measured makespan follows ρ + ℓ² log(ρ/ℓ), Theorem 1.");
+}
+
+/// Table 1, rows 3–4: `AGrid` (energy Θ(ℓ²), makespan O(ξℓ)) vs `AWave`
+/// (energy Θ(ℓ² log ℓ), makespan O(ξ + ℓ² log(ξ/ℓ))).
+fn section_energy_constrained() {
+    println!("\n## Table 1, rows 3–4 — AGrid vs AWave on serpentine corridors\n");
+    let mut plan = ExperimentPlan::new("table1-energy-constrained")
+        .algorithm(Algorithm::Grid)
+        .algorithm(Algorithm::Wave);
+    for &ell in &[1.0, 2.0] {
+        for &xi_target in &[60.0, 120.0, 240.0] {
+            plan = plan.scenario(snake_scenario(ell, xi_target * ell.max(1.0)));
+        }
+    }
+    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    header(&[
+        "ℓ",
+        "ξ_ℓ",
+        "alg",
+        "makespan",
+        "bound",
+        "ratio",
+        "max-energy",
+        "energy-shape",
+    ]);
+    for r in &results {
+        assert!(r.all_awake);
+        let xi = r.xi_ell.expect("snake connected");
+        let (bound, eshape) = if r.algorithm == Algorithm::Grid.to_string() {
+            (
+                bounds::grid_makespan_bound(xi, r.ell),
+                bounds::grid_energy_shape(r.ell),
+            )
+        } else {
+            (
+                bounds::wave_makespan_bound(xi, r.ell),
+                bounds::wave_energy_shape(r.ell),
+            )
+        };
+        row(&[
+            f1(r.ell),
+            f1(xi),
+            r.algorithm.clone(),
+            f1(r.makespan),
+            f1(bound),
+            f2(r.makespan / bound),
+            f1(r.max_energy),
+            f1(eshape),
+        ]);
+    }
+    println!("\nshape check: AGrid's ratio is w.r.t. ξ·ℓ, AWave's w.r.t.");
+    println!("ξ + ℓ² log(ξ/ℓ); both stay bounded while AGrid's max-energy");
+    println!("stays Θ(ℓ²) and AWave's Θ(ℓ² log ℓ).");
 }
 
 /// Table 1's *energy column* as a feasibility matrix: each algorithm's
@@ -38,6 +128,15 @@ fn section_energy_feasibility() {
     let grid_budget = 80.0 * bounds::grid_energy_shape(ell) + 60.0 * ell + 40.0;
     let wave_budget = 1000.0 * bounds::wave_energy_shape(ell) + 500.0;
     println!("budgets for ℓ={ell}: Θ(ℓ²) = {grid_budget:.0}, Θ(ℓ² log ℓ) = {wave_budget:.0}\n");
+    let corridors = [600.0, 1500.0, 3000.0];
+    let mut plan = ExperimentPlan::new("table1-energy-feasibility")
+        .algorithm(Algorithm::Grid)
+        .algorithm(Algorithm::Wave)
+        .algorithm(Algorithm::Separator);
+    for &xi in &corridors {
+        plan = plan.scenario(snake_scenario(ell, xi));
+    }
+    let results = run_plan(&plan, default_threads()).expect("valid runs");
     header(&[
         "ξ (corridor)",
         "alg",
@@ -45,27 +144,15 @@ fn section_energy_feasibility() {
         "fits Θ(ℓ²)?",
         "fits Θ(ℓ² log ℓ)?",
     ]);
-    for &xi in &[600.0, 1500.0, 3000.0] {
-        let inst = freezetag_bench::snake_with(ell, xi);
-        let tuple = inst.admissible_tuple();
-        for alg in [Algorithm::Grid, Algorithm::Wave, Algorithm::Separator] {
-            let rep = solve(&inst, &tuple, alg).expect("valid run");
+    let fits = |energy: f64, budget: f64| if energy <= budget { "yes" } else { "no" };
+    for (cell, &xi) in results.chunks(plan.algorithms.len()).zip(&corridors) {
+        for r in cell {
             row(&[
                 f1(xi),
-                alg.to_string(),
-                f1(rep.max_energy),
-                if rep.max_energy <= grid_budget {
-                    "yes"
-                } else {
-                    "no"
-                }
-                .into(),
-                if rep.max_energy <= wave_budget {
-                    "yes"
-                } else {
-                    "no"
-                }
-                .into(),
+                r.algorithm.clone(),
+                f1(r.max_energy),
+                fits(r.max_energy, grid_budget).into(),
+                fits(r.max_energy, wave_budget).into(),
             ]);
         }
     }
@@ -75,87 +162,9 @@ fn section_energy_feasibility() {
     println!("Table 1's energy column, row by row.");
 }
 
-/// Table 1, row 1: `ASeparator` makespan `O(ρ + ℓ² log(ρ/ℓ))`.
-fn section_aseparator() {
-    println!("\n## Table 1, row 1 — ASeparator, makespan O(ρ + ℓ² log(ρ/ℓ))\n");
-    header(&["ℓ", "ρ", "n", "makespan", "bound", "ratio", "max-energy"]);
-    for &ell in &[1.0, 2.0, 4.0] {
-        for &ratio in &[8.0, 16.0, 32.0] {
-            let rho = ell * ratio;
-            let inst = lattice_with(ell, rho);
-            let tuple = inst.admissible_tuple();
-            let rep = solve(&inst, &tuple, Algorithm::Separator).expect("valid run");
-            assert!(rep.all_awake);
-            let bound = bounds::separator_makespan_bound(tuple.rho, tuple.ell);
-            row(&[
-                f1(tuple.ell),
-                f1(tuple.rho),
-                tuple.n.to_string(),
-                f1(rep.makespan),
-                f1(bound),
-                f2(rep.makespan / bound),
-                f1(rep.max_energy),
-            ]);
-        }
-    }
-    println!("\nshape check: the ratio column stays bounded as ρ/ℓ doubles →");
-    println!("the measured makespan follows ρ + ℓ² log(ρ/ℓ), Theorem 1.");
-}
-
-/// Table 1, rows 3–4: `AGrid` (energy Θ(ℓ²), makespan O(ξℓ)) vs `AWave`
-/// (energy Θ(ℓ² log ℓ), makespan O(ξ + ℓ² log(ξ/ℓ))).
-fn section_energy_constrained() {
-    println!("\n## Table 1, rows 3–4 — AGrid vs AWave on serpentine corridors\n");
-    header(&[
-        "ℓ",
-        "ξ_ℓ",
-        "alg",
-        "makespan",
-        "bound",
-        "ratio",
-        "max-energy",
-        "energy-shape",
-    ]);
-    for &ell in &[1.0, 2.0] {
-        for &xi_target in &[60.0, 120.0, 240.0] {
-            let inst = snake_with(ell, xi_target * ell.max(1.0));
-            let tuple = inst.admissible_tuple();
-            let xi = inst
-                .params(Some(tuple.ell))
-                .xi_ell
-                .expect("snake connected");
-            for alg in [Algorithm::Grid, Algorithm::Wave] {
-                let rep = solve(&inst, &tuple, alg).expect("valid run");
-                assert!(rep.all_awake);
-                let (bound, eshape) = match alg {
-                    Algorithm::Grid => (
-                        bounds::grid_makespan_bound(xi, tuple.ell),
-                        bounds::grid_energy_shape(tuple.ell),
-                    ),
-                    _ => (
-                        bounds::wave_makespan_bound(xi, tuple.ell),
-                        bounds::wave_energy_shape(tuple.ell),
-                    ),
-                };
-                row(&[
-                    f1(tuple.ell),
-                    f1(xi),
-                    alg.to_string(),
-                    f1(rep.makespan),
-                    f1(bound),
-                    f2(rep.makespan / bound),
-                    f1(rep.max_energy),
-                    f1(eshape),
-                ]);
-            }
-        }
-    }
-    println!("\nshape check: AGrid's ratio is w.r.t. ξ·ℓ, AWave's w.r.t.");
-    println!("ξ + ℓ² log(ξ/ℓ); both stay bounded while AGrid's max-energy");
-    println!("stays Θ(ℓ²) and AWave's Θ(ℓ² log ℓ).");
-}
-
 /// Table 1, row 2 (Theorem 3): below `π(ℓ²−1)/2` energy, nothing wakes.
+/// Drives the adversarial world directly: the measured quantity is the
+/// budgeted *search* primitive, not one of the engine's algorithms.
 fn section_infeasibility() {
     println!("\n## Table 1, row 2 — infeasibility below B = π(ℓ²−1)/2 (Thm 3)\n");
     header(&[
@@ -202,10 +211,16 @@ fn section_infeasibility() {
     println!("searcher whose budget is below the Theorem 3 threshold.");
 }
 
-/// Table 1, lower-bound column (Theorems 2): the adversarial construction
-/// forces Ω(ρ + ℓ² log(ρ/ℓ)) on ASeparator itself.
+/// Table 1, lower-bound column (Theorem 2): the adversarial construction
+/// forces Ω(ρ + ℓ² log(ρ/ℓ)) on ASeparator itself — run through the
+/// engine's adversarial-world executor.
 fn section_lower_bounds() {
     println!("\n## Table 1, lower bounds — adaptive adversary (Thm 2)\n");
+    let mut plan = ExperimentPlan::new("table1-lower-bounds").algorithm(Algorithm::Separator);
+    for &(ell, rho) in &[(2.0, 16.0), (2.0, 32.0), (4.0, 32.0), (4.0, 64.0)] {
+        plan = plan.scenario(theorem2_scenario(ell, rho, 4000));
+    }
+    let results: Vec<JobResult> = run_plan(&plan, default_threads()).expect("valid runs");
     header(&[
         "ℓ",
         "ρ",
@@ -215,35 +230,33 @@ fn section_lower_bounds() {
         "ratio",
         "looks",
     ]);
-    for &(ell, rho) in &[(2.0, 16.0), (2.0, 32.0), (4.0, 32.0), (4.0, 64.0)] {
-        let layout = theorem2_layout(ell, rho, 4000);
-        let m = layout.n();
-        let tuple = AdmissibleTuple::new(ell, rho, m);
-        let mut sim = Sim::new(AdversarialWorld::new(layout));
-        run_algorithm(&mut sim, &tuple, Algorithm::Separator);
-        assert!(sim.world().all_awake(), "adversarial robots must all wake");
-        let makespan = sim.schedule().makespan();
-        let shape = bounds::separator_makespan_bound(rho, ell);
+    for r in &results {
+        assert!(r.all_awake, "adversarial robots must all wake");
+        let shape = bounds::separator_makespan_bound(r.rho, r.ell);
         row(&[
-            f1(ell),
-            f1(rho),
-            m.to_string(),
-            f1(makespan),
+            f1(r.ell),
+            f1(r.rho),
+            r.n.to_string(),
+            f1(r.makespan),
             f1(shape),
-            f2(makespan / shape),
-            sim.world().look_count().to_string(),
+            f2(r.makespan / shape),
+            r.looks.to_string(),
         ]);
     }
     println!("\nshape check: the measured/Ω ratio stays bounded from *below*");
     println!("too — upper and lower bounds match (Theorems 1 + 2).");
+
+    println!("\n## machine-readable aggregation (engine summary)\n");
+    render_aggregates(&aggregate(&results));
 }
 
-/// Section 5: 3-approximation of ρ* knowing only ℓ.
+/// Section 5: 3-approximation of ρ* knowing only ℓ. Drives the simulator
+/// directly: the measured quantity is the estimation primitive.
 fn section_radius_approx() {
     println!("\n## Section 5 — ρ* approximation knowing only ℓ\n");
     header(&["ℓ", "ρ*", "ρ̂", "ρ̂/ρ*", "overhead (time)"]);
     for &(ell, rho) in &[(1.0, 16.0), (2.0, 32.0), (4.0, 64.0)] {
-        let inst = lattice_with(ell, rho);
+        let inst = freezetag_bench::lattice_with(ell, rho);
         let p = inst.params(None);
         let mut sim = Sim::new(freezetag_sim::ConcreteWorld::new(&inst));
         let est = freezetag_core::estimate_radius(&mut sim, p.ell_star.max(1.0));

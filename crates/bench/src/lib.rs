@@ -2,7 +2,14 @@
 //! regenerate every table and figure of the paper (see DESIGN.md §4 for
 //! the experiment index), and the Criterion benches in `benches/` track
 //! the implementation's wall-clock performance.
+//!
+//! Every full-algorithm measurement in the binaries is an
+//! [`freezetag_exp::ExperimentPlan`] executed by the experiment engine;
+//! this crate supplies the standard paper workloads as scenario specs
+//! ([`lattice_scenario`], [`snake_scenario`]) and renders engine
+//! aggregates as markdown tables ([`render_aggregates`]).
 
+use freezetag_exp::{Aggregate, ScenarioSpec};
 use freezetag_instances::generators::{grid_lattice, snake};
 use freezetag_instances::Instance;
 
@@ -20,6 +27,59 @@ pub fn snake_with(ell: f64, xi: f64) -> Instance {
     let legs = 4;
     let leg = (xi / legs as f64).max(4.0 * ell);
     snake(legs, leg, 2.0 * ell, ell)
+}
+
+/// The [`lattice_with`] workload as a registry scenario — the exact same
+/// instance, expressed as plan data for the experiment engine.
+pub fn lattice_scenario(ell: f64, rho: f64) -> ScenarioSpec {
+    let side = ((rho / ell) * std::f64::consts::SQRT_2 / 2.0)
+        .ceil()
+        .max(2.0);
+    ScenarioSpec::new("grid_lattice")
+        .with("side", side)
+        .with("spacing", ell)
+        .named(&format!("lattice ℓ={ell} ρ={rho}"))
+}
+
+/// The [`snake_with`] workload as a registry scenario.
+pub fn snake_scenario(ell: f64, xi: f64) -> ScenarioSpec {
+    let legs = 4.0;
+    let leg = (xi / legs).max(4.0 * ell);
+    ScenarioSpec::new("snake")
+        .with("legs", legs)
+        .with("leg", leg)
+        .with("riser", 2.0 * ell)
+        .with("spacing", ell)
+        .named(&format!("snake ℓ={ell} ξ≈{xi}"))
+}
+
+/// The Theorem 2 adversarial grid-of-disks layout as a registry scenario
+/// (`n` caps the disk count; the construction may produce fewer).
+pub fn theorem2_scenario(ell: f64, rho: f64, n: usize) -> ScenarioSpec {
+    ScenarioSpec::new("theorem2")
+        .with("ell", ell)
+        .with("rho", rho)
+        .with("n", n as f64)
+        .named(&format!("thm2 ℓ={ell} ρ={rho}"))
+}
+
+/// Worker threads for the reproduction binaries: all available cores,
+/// capped at 8. Results are independent of this number.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Renders engine aggregates as a markdown table (the standard summary
+/// block closing each reproduction binary; same layout `dftp sweep`
+/// prints, via [`freezetag_exp::emit::aggregates_to_markdown`]).
+pub fn render_aggregates(aggregates: &[Aggregate]) {
+    print!(
+        "{}",
+        freezetag_exp::emit::aggregates_to_markdown(aggregates)
+    );
 }
 
 /// Prints a markdown-style table row.
@@ -60,6 +120,17 @@ mod tests {
             "rho {}",
             p.rho_star
         );
+    }
+
+    #[test]
+    fn scenario_specs_match_their_direct_constructors() {
+        use freezetag_instances::registry;
+        let s = lattice_scenario(2.0, 24.0);
+        let inst = registry::build_instance(&s.generator, &s.params, 0).expect("builds");
+        assert_eq!(inst, lattice_with(2.0, 24.0));
+        let s = snake_scenario(1.0, 120.0);
+        let inst = registry::build_instance(&s.generator, &s.params, 0).expect("builds");
+        assert_eq!(inst, snake_with(1.0, 120.0));
     }
 
     #[test]

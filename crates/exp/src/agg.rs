@@ -1,0 +1,192 @@
+//! Aggregation of job results into per-(scenario, algorithm) statistics.
+
+use crate::runner::JobResult;
+
+/// Summary statistics of one measured quantity across a group of jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl Stats {
+    /// Computes the statistics of a non-empty sample. Percentiles use the
+    /// nearest-rank definition: `p50` of `[1, 2, 3, 4]` is `2`. Non-finite
+    /// observations (quantities a job does not measure, e.g. the energy of
+    /// a `central[optimal]` run) are excluded; an all-non-finite sample
+    /// yields all-NaN statistics, which the emitters render as JSON
+    /// `null`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn compute(values: &[f64]) -> Stats {
+        assert!(!values.is_empty(), "no observations to aggregate");
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return Stats {
+                mean: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                p50: f64::NAN,
+                p95: f64::NAN,
+            };
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite after filter"));
+        let rank = |p: f64| -> f64 {
+            let k = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[k - 1]
+        };
+        Stats {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: rank(50.0),
+            p95: rank(95.0),
+        }
+    }
+}
+
+/// Aggregated results of one (scenario, algorithm) cell across its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Scenario display name.
+    pub scenario: String,
+    /// Canonical generator name.
+    pub generator: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Robots per run (from the first job of the cell).
+    pub n: usize,
+    /// Number of seeded repetitions aggregated.
+    pub seeds: usize,
+    /// Makespan statistics.
+    pub makespan: Stats,
+    /// Worst per-robot energy statistics.
+    pub max_energy: Stats,
+    /// Total swarm energy statistics.
+    pub total_energy: Stats,
+    /// Look-count statistics.
+    pub looks: Stats,
+    /// Whether every aggregated run ended with all robots awake.
+    pub all_awake: bool,
+    /// Summed wall-clock seconds of the cell's jobs (non-deterministic;
+    /// excluded from the deterministic aggregate JSON).
+    pub wall_time_s: f64,
+}
+
+/// Groups job results by (scenario, algorithm) in first-appearance order —
+/// which, for results straight out of `run_plan`, is the plan's own order —
+/// and computes the per-cell statistics.
+pub fn aggregate(results: &[JobResult]) -> Vec<Aggregate> {
+    let mut groups: Vec<(String, String, Vec<&JobResult>)> = Vec::new();
+    for r in results {
+        match groups
+            .iter_mut()
+            .find(|(s, a, _)| *s == r.scenario && *a == r.algorithm)
+        {
+            Some((_, _, members)) => members.push(r),
+            None => groups.push((r.scenario.clone(), r.algorithm.clone(), vec![r])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(scenario, algorithm, members)| {
+            let field = |f: fn(&JobResult) -> f64| -> Stats {
+                Stats::compute(&members.iter().map(|r| f(r)).collect::<Vec<_>>())
+            };
+            Aggregate {
+                scenario,
+                generator: members[0].generator.clone(),
+                algorithm,
+                n: members[0].n,
+                seeds: members.len(),
+                makespan: field(|r| r.makespan),
+                max_energy: field(|r| r.max_energy),
+                total_energy: field(|r| r.total_energy),
+                looks: field(|r| r.looks as f64),
+                all_awake: members.iter().all(|r| r.all_awake),
+                wall_time_s: members.iter().map(|r| r.wall_time_s).sum(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(scenario: &str, algorithm: &str, makespan: f64) -> JobResult {
+        JobResult {
+            job: 0,
+            scenario: scenario.to_string(),
+            generator: "g".to_string(),
+            algorithm: algorithm.to_string(),
+            seed: 0,
+            seed_index: 0,
+            n: 5,
+            ell: 1.0,
+            rho: 2.0,
+            xi_ell: None,
+            makespan,
+            completion_time: makespan,
+            max_energy: makespan / 2.0,
+            total_energy: makespan * 2.0,
+            looks: 10,
+            all_awake: true,
+            wall_time_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn stats_nearest_rank() {
+        let s = Stats::compute(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 4.0);
+        let one = Stats::compute(&[7.0]);
+        assert_eq!(one.p50, 7.0);
+        assert_eq!(one.p95, 7.0);
+    }
+
+    #[test]
+    fn stats_skip_unmeasured_observations() {
+        let s = Stats::compute(&[f64::NAN, 2.0, 4.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        let unmeasured = Stats::compute(&[f64::NAN, f64::NAN]);
+        assert!(unmeasured.mean.is_nan());
+        assert!(unmeasured.p95.is_nan());
+    }
+
+    #[test]
+    fn aggregate_groups_in_first_appearance_order() {
+        let results = vec![
+            job("a", "AGrid", 10.0),
+            job("a", "AGrid", 20.0),
+            job("a", "AWave", 5.0),
+            job("b", "AGrid", 1.0),
+        ];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 3);
+        assert_eq!(aggs[0].scenario, "a");
+        assert_eq!(aggs[0].algorithm, "AGrid");
+        assert_eq!(aggs[0].seeds, 2);
+        assert_eq!(aggs[0].makespan.mean, 15.0);
+        assert_eq!(aggs[0].wall_time_s, 1.0);
+        assert_eq!(aggs[1].algorithm, "AWave");
+        assert_eq!(aggs[2].scenario, "b");
+        assert!(aggs.iter().all(|a| a.all_awake));
+    }
+}

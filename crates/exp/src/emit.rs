@@ -1,0 +1,348 @@
+//! Machine-readable result emission: JSON-lines and CSV per-job records,
+//! deterministic aggregated JSON, and the `BENCH_results.json`
+//! perf-trajectory format.
+//!
+//! All JSON is hand-rolled (the workspace is offline — no serde). Numbers
+//! use Rust's shortest round-trip formatting, so output is byte-stable
+//! across runs, platforms and thread counts; non-finite values emit as
+//! `null`.
+
+use crate::agg::{Aggregate, Stats};
+use crate::plan::ExperimentPlan;
+use crate::runner::JobResult;
+use std::fmt::Write as _;
+
+/// Formats a float as a JSON number (`null` when non-finite).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for inclusion in JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn stats_json(s: &Stats) -> String {
+    format!(
+        "{{\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+        num(s.mean),
+        num(s.min),
+        num(s.max),
+        num(s.p50),
+        num(s.p95)
+    )
+}
+
+fn job_json(r: &JobResult, include_wall_time: bool) -> String {
+    let mut out = format!(
+        "{{\"job\":{},\"scenario\":\"{}\",\"generator\":\"{}\",\"algorithm\":\"{}\",\
+         \"seed\":{},\"seed_index\":{},\"n\":{},\"ell\":{},\"rho\":{},\"xi_ell\":{},\
+         \"makespan\":{},\"completion_time\":{},\"max_energy\":{},\"total_energy\":{},\
+         \"looks\":{},\"all_awake\":{}",
+        r.job,
+        escape(&r.scenario),
+        escape(&r.generator),
+        escape(&r.algorithm),
+        r.seed,
+        r.seed_index,
+        r.n,
+        num(r.ell),
+        num(r.rho),
+        r.xi_ell.map_or("null".to_string(), num),
+        num(r.makespan),
+        num(r.completion_time),
+        num(r.max_energy),
+        num(r.total_energy),
+        r.looks,
+        r.all_awake
+    );
+    if include_wall_time {
+        let _ = write!(out, ",\"wall_time_s\":{}", num(r.wall_time_s));
+    }
+    out.push('}');
+    out
+}
+
+/// One JSON object per line, one line per job (includes wall time, so not
+/// byte-stable across machines — use [`aggregates_to_json`] for that).
+pub fn jobs_to_jsonl(results: &[JobResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&job_json(r, true));
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV with a header row, one row per job.
+pub fn jobs_to_csv(results: &[JobResult]) -> String {
+    let mut out = String::from(
+        "job,scenario,generator,algorithm,seed,seed_index,n,ell,rho,xi_ell,\
+         makespan,completion_time,max_energy,total_energy,looks,all_awake,wall_time_s\n",
+    );
+    let csv_field = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    // Unmeasured quantities (NaN) become empty cells, like an absent ξ_ℓ.
+    let csv_num = |x: f64| -> String {
+        if x.is_finite() {
+            x.to_string()
+        } else {
+            String::new()
+        }
+    };
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.job,
+            csv_field(&r.scenario),
+            csv_field(&r.generator),
+            csv_field(&r.algorithm),
+            r.seed,
+            r.seed_index,
+            r.n,
+            r.ell,
+            r.rho,
+            r.xi_ell.map_or(String::new(), csv_num),
+            csv_num(r.makespan),
+            csv_num(r.completion_time),
+            csv_num(r.max_energy),
+            csv_num(r.total_energy),
+            r.looks,
+            r.all_awake,
+            r.wall_time_s,
+        );
+    }
+    out
+}
+
+fn aggregate_json(a: &Aggregate, include_wall_time: bool) -> String {
+    let mut out = format!(
+        "    {{\"scenario\":\"{}\",\"generator\":\"{}\",\"algorithm\":\"{}\",\
+         \"n\":{},\"seeds\":{},\"all_awake\":{},\"makespan\":{},\"max_energy\":{},\
+         \"total_energy\":{},\"looks\":{}",
+        escape(&a.scenario),
+        escape(&a.generator),
+        escape(&a.algorithm),
+        a.n,
+        a.seeds,
+        a.all_awake,
+        stats_json(&a.makespan),
+        stats_json(&a.max_energy),
+        stats_json(&a.total_energy),
+        stats_json(&a.looks)
+    );
+    if include_wall_time {
+        let _ = write!(out, ",\"wall_time_s\":{}", num(a.wall_time_s));
+    }
+    out.push('}');
+    out
+}
+
+fn groups_json(aggregates: &[Aggregate], include_wall_time: bool) -> String {
+    let rows: Vec<String> = aggregates
+        .iter()
+        .map(|a| aggregate_json(a, include_wall_time))
+        .collect();
+    rows.join(",\n")
+}
+
+/// Renders aggregates as a human-readable markdown table — the one
+/// summary-table layout shared by `dftp sweep` and the bench binaries
+/// (via `freezetag_bench::render_aggregates`). Unmeasured statistics
+/// (NaN) render as `-`.
+pub fn aggregates_to_markdown(aggregates: &[Aggregate]) -> String {
+    let cell = |x: f64, decimals: usize| -> String {
+        if x.is_finite() {
+            format!("{x:.decimals$}")
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut out = String::from(
+        "| scenario | algorithm | n | seeds | makespan μ | makespan p95 | max-energy μ | looks μ |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for a in aggregates {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            a.scenario,
+            a.algorithm,
+            a.n,
+            a.seeds,
+            cell(a.makespan.mean, 1),
+            cell(a.makespan.p95, 1),
+            cell(a.max_energy.mean, 1),
+            cell(a.looks.mean, 0),
+        );
+    }
+    out
+}
+
+/// The deterministic aggregated document: for a fixed plan this is
+/// byte-identical for any thread count (wall times are excluded).
+pub fn aggregates_to_json(plan: &ExperimentPlan, aggregates: &[Aggregate]) -> String {
+    format!(
+        "{{\n  \"plan\": \"{}\",\n  \"plan_seed\": {},\n  \"seeds_per_cell\": {},\n  \
+         \"jobs\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
+        escape(&plan.name),
+        plan.plan_seed,
+        plan.seeds,
+        plan.job_count(),
+        groups_json(aggregates, false)
+    )
+}
+
+/// The `BENCH_results.json` perf-trajectory document: the deterministic
+/// aggregates plus wall-clock timing (per group and total) and the
+/// execution context, so successive commits can be compared.
+pub fn bench_results_json(
+    plan: &ExperimentPlan,
+    aggregates: &[Aggregate],
+    threads: usize,
+    total_wall_time_s: f64,
+) -> String {
+    format!(
+        "{{\n  \"schema\": \"freezetag-bench-results/v1\",\n  \"plan\": \"{}\",\n  \
+         \"plan_seed\": {},\n  \"seeds_per_cell\": {},\n  \"jobs\": {},\n  \
+         \"threads\": {},\n  \"total_wall_time_s\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
+        escape(&plan.name),
+        plan.plan_seed,
+        plan.seeds,
+        plan.job_count(),
+        threads,
+        num(total_wall_time_s),
+        groups_json(aggregates, true)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScenarioSpec;
+    use freezetag_core::Algorithm;
+
+    fn sample() -> (ExperimentPlan, Vec<JobResult>) {
+        let plan = ExperimentPlan::new("sample \"quoted\"")
+            .scenario(ScenarioSpec::new("disk"))
+            .algorithm(Algorithm::Grid)
+            .seeds(2);
+        let job = |i: usize, makespan: f64| JobResult {
+            job: i,
+            scenario: "disk".to_string(),
+            generator: "uniform_disk".to_string(),
+            algorithm: "AGrid".to_string(),
+            seed: 9,
+            seed_index: i,
+            n: 4,
+            ell: 1.0,
+            rho: 3.0,
+            xi_ell: Some(4.5),
+            makespan,
+            completion_time: makespan,
+            max_energy: 2.0,
+            total_energy: 8.0,
+            looks: 12,
+            all_awake: true,
+            wall_time_s: 0.25,
+        };
+        (plan, vec![job(0, 10.0), job(1, 20.0)])
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_job_with_wall_time() {
+        let (_, results) = sample();
+        let text = jobs_to_jsonl(&results);
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"wall_time_s\":0.25"));
+            assert!(line.contains("\"xi_ell\":4.5"));
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (_, results) = sample();
+        let text = jobs_to_csv(&results);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("job,scenario"));
+        assert!(lines[1].contains(",AGrid,"));
+    }
+
+    #[test]
+    fn aggregate_json_is_wall_time_free_and_escaped() {
+        let (plan, results) = sample();
+        let aggs = crate::agg::aggregate(&results);
+        let text = aggregates_to_json(&plan, &aggs);
+        assert!(
+            !text.contains("wall_time"),
+            "deterministic doc leaked timing"
+        );
+        assert!(
+            text.contains("\\\"quoted\\\""),
+            "plan name not escaped: {text}"
+        );
+        assert!(text.contains("\"mean\":15"), "{text}");
+        assert!(text.contains("\"jobs\": 2"));
+    }
+
+    #[test]
+    fn bench_results_json_carries_timing_and_schema() {
+        let (plan, results) = sample();
+        let aggs = crate::agg::aggregate(&results);
+        let text = bench_results_json(&plan, &aggs, 4, 0.5);
+        assert!(text.contains("freezetag-bench-results/v1"));
+        assert!(text.contains("\"threads\": 4"));
+        assert!(text.contains("\"wall_time_s\":0.5"));
+    }
+
+    #[test]
+    fn markdown_table_renders_rows_and_dashes() {
+        let (_, results) = sample();
+        let mut aggs = crate::agg::aggregate(&results);
+        aggs[0].max_energy.mean = f64::NAN;
+        let text = aggregates_to_markdown(&aggs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| scenario |"));
+        assert!(lines[2].contains("| 15.0 |"), "{text}");
+        assert!(
+            lines[2].contains("| - |"),
+            "NaN must render as dash: {text}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(2.5), "2.5");
+        assert_eq!(num(3.0), "3");
+    }
+}

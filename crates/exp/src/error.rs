@@ -1,0 +1,61 @@
+use freezetag_instances::registry::RegistryError;
+use freezetag_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Error building, validating or running an experiment plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpError {
+    /// The plan is structurally invalid (empty axis, bad spec syntax, …).
+    InvalidPlan(String),
+    /// A scenario failed registry lookup or parameter validation.
+    Registry(String),
+    /// A job's run failed schedule validation.
+    Validation {
+        /// Scenario name of the failing job.
+        scenario: String,
+        /// Algorithm label of the failing job.
+        algorithm: String,
+        /// The underlying simulator error, stringified.
+        message: String,
+    },
+    /// The scenario/algorithm combination is not executable (e.g. a
+    /// centralized baseline on an adversarial layout).
+    Unsupported(String),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            ExpError::Registry(msg) => write!(f, "{msg}"),
+            ExpError::Validation {
+                scenario,
+                algorithm,
+                message,
+            } => write!(
+                f,
+                "run of {algorithm} on scenario '{scenario}' failed validation: {message}"
+            ),
+            ExpError::Unsupported(msg) => write!(f, "unsupported combination: {msg}"),
+        }
+    }
+}
+
+impl Error for ExpError {}
+
+impl From<RegistryError> for ExpError {
+    fn from(e: RegistryError) -> Self {
+        ExpError::Registry(e.to_string())
+    }
+}
+
+impl ExpError {
+    pub(crate) fn validation(scenario: &str, algorithm: &str, e: SimError) -> Self {
+        ExpError::Validation {
+            scenario: scenario.to_string(),
+            algorithm: algorithm.to_string(),
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Experiment engine for the freezetag workspace: every number this
+//! repository reports is produced by running an [`ExperimentPlan`] through
+//! this crate.
+//!
+//! A plan is *data*: a list of named scenarios (a registry generator plus
+//! a parameter map, see `freezetag_instances::registry`), a list of
+//! algorithm specifications ([`AlgSpec`]: the three distributed
+//! algorithms, optionally with a Lemma 2 wake-strategy override, the
+//! centralized wake-tree baselines, or the exact small-`n` optimum), and a
+//! number of seeded repetitions per cell. [`run_plan`] executes the full
+//! cross-product `scenarios × algorithms × seeds` on a `std::thread`
+//! worker pool; every job draws its seed deterministically via
+//! [`derive_seed`] from `(plan_seed, scenario, repetition)` — deliberately
+//! *not* from the algorithm, so all algorithms of a cell run on the
+//! identical instance (paired comparisons) — and the results, like the
+//! aggregated JSON emitted by [`emit`], are byte-identical for any thread
+//! count.
+//!
+//! The layers:
+//!
+//! * [`plan`] — [`ScenarioSpec`], [`AlgSpec`], [`ExperimentPlan`], job
+//!   cross-product and validation;
+//! * [`runner`] — the worker pool, per-job execution (concrete and
+//!   adversarial worlds), [`JobResult`], and [`run_single`] for harnesses
+//!   that need the schedule/trace of one run;
+//! * [`agg`] — grouping job results into [`Aggregate`]s with
+//!   mean/min/max/p50/p95 statistics;
+//! * [`emit`] — JSON-lines, CSV, aggregated JSON, and the
+//!   `BENCH_results.json` perf-trajectory format.
+//!
+//! # Example
+//!
+//! ```
+//! use freezetag_exp::{agg, emit, run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
+//! use freezetag_core::Algorithm;
+//!
+//! let plan = ExperimentPlan::new("doc")
+//!     .scenario(ScenarioSpec::new("disk").with("n", 15.0).with("radius", 5.0))
+//!     .algorithm(AlgSpec::from(Algorithm::Grid))
+//!     .seeds(2);
+//! let results = run_plan(&plan, 2).unwrap();
+//! assert_eq!(results.len(), 2);
+//! let aggregates = agg::aggregate(&results);
+//! let json = emit::aggregates_to_json(&plan, &aggregates);
+//! assert!(json.contains("\"makespan\""));
+//! ```
+
+pub mod agg;
+pub mod emit;
+mod error;
+pub mod plan;
+pub mod runner;
+
+pub use agg::{aggregate, Aggregate, Stats};
+pub use error::ExpError;
+pub use plan::{derive_seed, AlgSpec, ExperimentPlan, JobSpec, ScenarioSpec};
+pub use runner::{run_plan, run_single, JobResult, SingleRun};

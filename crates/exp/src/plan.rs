@@ -1,0 +1,445 @@
+//! Declarative experiment plans: scenarios × algorithms × seeds.
+
+use crate::ExpError;
+use freezetag_central::WakeStrategy;
+use freezetag_core::Algorithm;
+use freezetag_instances::registry::{self, ParamMap};
+use std::fmt;
+
+/// A named scenario: a registry generator plus a parameter map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Display/grouping name (defaults to the spec text or generator).
+    pub name: String,
+    /// Registry key (canonical name or alias).
+    pub generator: String,
+    /// Named parameters; absent keys take registry defaults.
+    pub params: ParamMap,
+}
+
+impl ScenarioSpec {
+    /// A scenario of the given registry generator with default parameters,
+    /// named after the generator.
+    pub fn new(generator: &str) -> Self {
+        ScenarioSpec {
+            name: generator.to_string(),
+            generator: generator.to_string(),
+            params: ParamMap::new(),
+        }
+    }
+
+    /// Sets one parameter (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.params.insert(key.to_string(), value);
+        self
+    }
+
+    /// Overrides the display name (builder style).
+    #[must_use]
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Parses the CLI syntax `generator[:key=value]*`, e.g.
+    /// `disk:n=40:radius=8`. The scenario name is the spec text itself, so
+    /// two specs of the same generator with different parameters aggregate
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpError::InvalidPlan`] on malformed syntax (generator existence
+    /// is checked later, by [`ExperimentPlan::validate`]).
+    pub fn parse(text: &str) -> Result<Self, ExpError> {
+        let text = text.trim();
+        let mut parts = text.split(':');
+        let generator = parts
+            .next()
+            .filter(|g| !g.is_empty())
+            .ok_or_else(|| ExpError::InvalidPlan(format!("empty scenario spec '{text}'")))?;
+        let mut spec = ScenarioSpec::new(generator).named(text);
+        for part in parts {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(ExpError::InvalidPlan(format!(
+                    "scenario '{text}': expected key=value, got '{part}'"
+                )));
+            };
+            let value: f64 = value.trim().parse().map_err(|_| {
+                ExpError::InvalidPlan(format!(
+                    "scenario '{text}': parameter '{key}' expects a number, got '{value}'"
+                ))
+            })?;
+            spec.params.insert(key.trim().to_string(), value);
+        }
+        Ok(spec)
+    }
+}
+
+/// What to run on each scenario: one of the paper's distributed
+/// algorithms (optionally with a Lemma 2 wake-strategy override for
+/// `ASeparator`), a centralized wake-tree baseline on known positions, or
+/// the exact branch-and-bound optimum (tiny instances only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgSpec {
+    /// A distributed algorithm driven through the simulator.
+    Distributed {
+        /// Which of the three paper algorithms.
+        algorithm: Algorithm,
+        /// Lemma 2 substitute override (`ASeparator` only).
+        strategy: Option<WakeStrategy>,
+    },
+    /// A centralized wake tree built directly on the instance positions.
+    Central(WakeStrategy),
+    /// The exact optimal makespan (branch and bound; n ≲ 10).
+    CentralOptimal,
+}
+
+impl From<Algorithm> for AlgSpec {
+    fn from(algorithm: Algorithm) -> Self {
+        AlgSpec::Distributed {
+            algorithm,
+            strategy: None,
+        }
+    }
+}
+
+impl AlgSpec {
+    /// `ASeparator` with an explicit Lemma 2 substitute.
+    pub fn separator_with(strategy: WakeStrategy) -> Self {
+        AlgSpec::Distributed {
+            algorithm: Algorithm::Separator,
+            strategy: Some(strategy),
+        }
+    }
+
+    /// Stable label used for grouping, tables and emitted records.
+    pub fn label(&self) -> String {
+        match self {
+            AlgSpec::Distributed {
+                algorithm,
+                strategy: None,
+            } => algorithm.to_string(),
+            AlgSpec::Distributed {
+                algorithm,
+                strategy: Some(s),
+            } => format!("{algorithm}[{s}]"),
+            AlgSpec::Central(s) => format!("central[{s}]"),
+            AlgSpec::CentralOptimal => "central[optimal]".to_string(),
+        }
+    }
+
+    /// Parses the CLI syntax: `separator`, `grid`, `wave`,
+    /// `separator:greedy` (strategy override), `central:quadtree` /
+    /// `central:greedy` / `central:median` / `central:chain`, `optimal`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpError::InvalidPlan`] on unknown names.
+    pub fn parse(text: &str) -> Result<Self, ExpError> {
+        let text = text.trim();
+        let (head, tail) = match text.split_once(':') {
+            Some((h, t)) => (h, Some(t)),
+            None => (text, None),
+        };
+        let strategy = |name: &str| -> Result<WakeStrategy, ExpError> {
+            match name {
+                "quadtree" => Ok(WakeStrategy::Quadtree),
+                "greedy" => Ok(WakeStrategy::Greedy),
+                "median" => Ok(WakeStrategy::MedianSplit),
+                "chain" => Ok(WakeStrategy::Chain),
+                other => Err(ExpError::InvalidPlan(format!(
+                    "unknown wake strategy '{other}' (quadtree|greedy|median|chain)"
+                ))),
+            }
+        };
+        match (head, tail) {
+            ("separator", None) => Ok(Algorithm::Separator.into()),
+            ("separator", Some(t)) => Ok(AlgSpec::separator_with(strategy(t)?)),
+            ("grid", None) => Ok(Algorithm::Grid.into()),
+            ("wave", None) => Ok(Algorithm::Wave.into()),
+            ("central", Some(t)) => Ok(AlgSpec::Central(strategy(t)?)),
+            ("optimal", None) => Ok(AlgSpec::CentralOptimal),
+            _ => Err(ExpError::InvalidPlan(format!(
+                "unknown algorithm spec '{text}' \
+                 (separator[:STRATEGY]|grid|wave|central:STRATEGY|optimal)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for AlgSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One fully resolved job of a plan's cross-product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Position in the cross-product; results are reported in this order.
+    pub index: usize,
+    /// Index into [`ExperimentPlan::scenarios`].
+    pub scenario: usize,
+    /// The algorithm to run.
+    pub algorithm: AlgSpec,
+    /// Repetition number within the cell (0-based).
+    pub seed_index: usize,
+    /// Generator seed, derived via [`derive_seed`] from the plan seed and
+    /// the (scenario, repetition) pair — *not* from the algorithm — so
+    /// every algorithm in a cell runs on the identical instance (paired
+    /// comparisons).
+    pub seed: u64,
+}
+
+/// A declarative experiment: the cross-product of scenarios, algorithms
+/// and seeded repetitions, plus the plan seed all job seeds derive from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPlan {
+    /// Plan name (carried into emitted records).
+    pub name: String,
+    /// Scenario axis.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Algorithm axis.
+    pub algorithms: Vec<AlgSpec>,
+    /// Seeded repetitions per (scenario, algorithm) cell.
+    pub seeds: usize,
+    /// Master seed; per-job seeds are [`derive_seed`]`(plan_seed, index)`.
+    pub plan_seed: u64,
+}
+
+impl ExperimentPlan {
+    /// An empty plan with one repetition and plan seed 1.
+    pub fn new(name: &str) -> Self {
+        ExperimentPlan {
+            name: name.to_string(),
+            scenarios: Vec::new(),
+            algorithms: Vec::new(),
+            seeds: 1,
+            plan_seed: 1,
+        }
+    }
+
+    /// Appends a scenario (builder style).
+    #[must_use]
+    pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.scenarios.push(spec);
+        self
+    }
+
+    /// Appends an algorithm (builder style).
+    #[must_use]
+    pub fn algorithm(mut self, alg: impl Into<AlgSpec>) -> Self {
+        self.algorithms.push(alg.into());
+        self
+    }
+
+    /// Sets the repetitions per cell (builder style).
+    #[must_use]
+    pub fn seeds(mut self, seeds: usize) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the plan seed (builder style).
+    #[must_use]
+    pub fn plan_seed(mut self, plan_seed: u64) -> Self {
+        self.plan_seed = plan_seed;
+        self
+    }
+
+    /// Total number of jobs in the cross-product.
+    pub fn job_count(&self) -> usize {
+        self.scenarios.len() * self.algorithms.len() * self.seeds
+    }
+
+    /// The full cross-product in deterministic order: scenarios outermost,
+    /// then algorithms, then repetitions.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for scenario in 0..self.scenarios.len() {
+            for &algorithm in &self.algorithms {
+                for seed_index in 0..self.seeds {
+                    let pair = (scenario * self.seeds + seed_index) as u64;
+                    jobs.push(JobSpec {
+                        index: jobs.len(),
+                        scenario,
+                        algorithm,
+                        seed_index,
+                        seed: derive_seed(self.plan_seed, pair),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Checks the plan before any job runs: non-empty axes, at least one
+    /// repetition, every scenario resolvable in the generator registry
+    /// with accepted keys and in-domain values, and no centralized
+    /// algorithm paired with an adversarial scenario — so a bad cell fails
+    /// the sweep up front instead of discarding completed jobs mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpError::InvalidPlan`] or a registry error, naming the offender.
+    pub fn validate(&self) -> Result<(), ExpError> {
+        if self.scenarios.is_empty() {
+            return Err(ExpError::InvalidPlan("no scenarios".into()));
+        }
+        if self.algorithms.is_empty() {
+            return Err(ExpError::InvalidPlan("no algorithms".into()));
+        }
+        if self.seeds == 0 {
+            return Err(ExpError::InvalidPlan("seeds must be >= 1".into()));
+        }
+        for spec in &self.scenarios {
+            let info = registry::validate(&spec.generator, &spec.params)
+                .map_err(|e| ExpError::Registry(format!("scenario '{}': {e}", spec.name)))?;
+            if info.adversarial {
+                if let Some(alg) = self
+                    .algorithms
+                    .iter()
+                    .find(|a| matches!(a, AlgSpec::Central(_) | AlgSpec::CentralOptimal))
+                {
+                    return Err(ExpError::InvalidPlan(format!(
+                        "scenario '{}' is adversarial but {} needs known positions",
+                        spec.name,
+                        alg.label()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic per-job seed: a splitmix64 finalizer over
+/// `(plan_seed, job_index)`, where the plan uses the job's
+/// (scenario, repetition) pair index so algorithms within a cell share
+/// instances. Stable across platforms, thread counts and runs — the
+/// contract behind byte-identical sweep output.
+pub fn derive_seed(plan_seed: u64, job_index: u64) -> u64 {
+    let mut z = plan_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(job_index.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_order_and_seeds_are_deterministic() {
+        let plan = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("disk"))
+            .scenario(ScenarioSpec::new("ring"))
+            .algorithm(Algorithm::Grid)
+            .algorithm(Algorithm::Wave)
+            .seeds(3)
+            .plan_seed(42);
+        let jobs = plan.jobs();
+        assert_eq!(jobs.len(), 12);
+        assert_eq!(plan.job_count(), 12);
+        // Scenario-major, algorithm next, repetition innermost.
+        assert_eq!(jobs[0].scenario, 0);
+        assert_eq!(jobs[3].algorithm, AlgSpec::from(Algorithm::Wave));
+        assert_eq!(jobs[6].scenario, 1);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            let pair = (j.scenario * 3 + j.seed_index) as u64;
+            assert_eq!(j.seed, derive_seed(42, pair));
+        }
+        // Paired design: every algorithm of a cell gets the same seed.
+        assert_eq!(jobs[0].seed, jobs[3].seed, "AGrid/AWave must pair up");
+        assert_ne!(jobs[0].seed, jobs[1].seed, "repetitions must differ");
+        assert_ne!(jobs[0].seed, jobs[6].seed, "scenarios must differ");
+        assert_eq!(plan.jobs(), jobs, "jobs() must be reproducible");
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_jobs_and_plan_seeds() {
+        let a: Vec<u64> = (0..64).map(|i| derive_seed(1, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| derive_seed(2, i)).collect();
+        assert_ne!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "collision in 64 derived seeds");
+    }
+
+    #[test]
+    fn scenario_parse_round_trips_params() {
+        let s = ScenarioSpec::parse("disk:n=40:radius=8.5").unwrap();
+        assert_eq!(s.generator, "disk");
+        assert_eq!(s.name, "disk:n=40:radius=8.5");
+        assert_eq!(s.params.get("n"), Some(&40.0));
+        assert_eq!(s.params.get("radius"), Some(&8.5));
+        assert!(ScenarioSpec::parse("disk:n").is_err());
+        assert!(ScenarioSpec::parse("disk:n=abc").is_err());
+        assert!(ScenarioSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn alg_parse_covers_all_forms() {
+        assert_eq!(
+            AlgSpec::parse("separator").unwrap(),
+            AlgSpec::from(Algorithm::Separator)
+        );
+        assert_eq!(
+            AlgSpec::parse("separator:chain").unwrap(),
+            AlgSpec::separator_with(WakeStrategy::Chain)
+        );
+        assert_eq!(
+            AlgSpec::parse("central:median").unwrap(),
+            AlgSpec::Central(WakeStrategy::MedianSplit)
+        );
+        assert_eq!(AlgSpec::parse("optimal").unwrap(), AlgSpec::CentralOptimal);
+        assert!(AlgSpec::parse("grid:greedy").is_err());
+        assert!(AlgSpec::parse("teleport").is_err());
+        assert_eq!(
+            AlgSpec::parse("central:chain").unwrap().label(),
+            "central[chain]"
+        );
+    }
+
+    #[test]
+    fn validate_catches_structural_and_registry_errors() {
+        let empty = ExperimentPlan::new("t");
+        assert!(empty.validate().is_err());
+        let bad_gen = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("warp"))
+            .algorithm(Algorithm::Grid);
+        assert!(bad_gen.validate().is_err());
+        let bad_key = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("disk").with("spacing", 1.0))
+            .algorithm(Algorithm::Grid);
+        let err = bad_key.validate().unwrap_err();
+        assert!(err.to_string().contains("spacing"), "{err}");
+        let zero_seeds = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("disk"))
+            .algorithm(Algorithm::Grid)
+            .seeds(0);
+        assert!(zero_seeds.validate().is_err());
+    }
+
+    #[test]
+    fn validate_fails_early_on_bad_values_and_incompatible_cells() {
+        // A value outside the construction's domain is caught before any
+        // job runs, not mid-sweep.
+        let bad_value = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("disk"))
+            .scenario(ScenarioSpec::new("theorem6").with("xi", 5000.0))
+            .algorithm(Algorithm::Grid);
+        let err = bad_value.validate().unwrap_err();
+        assert!(err.to_string().contains("xi"), "{err}");
+        // Centralized baselines need known positions: pairing them with an
+        // adversarial layout is a plan error.
+        let incompatible = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("theorem2"))
+            .algorithm(AlgSpec::CentralOptimal);
+        let err = incompatible.validate().unwrap_err();
+        assert!(err.to_string().contains("adversarial"), "{err}");
+    }
+}

@@ -1,0 +1,533 @@
+//! Plan execution: a `std::thread` worker pool over the job
+//! cross-product, with results reported in deterministic job order.
+
+use crate::plan::{AlgSpec, ExperimentPlan, JobSpec, ScenarioSpec};
+use crate::ExpError;
+use freezetag_central::{optimal_makespan, WakeStrategy};
+use freezetag_core::{
+    a_grid, a_separator, a_wave, AGridConfig, ASeparatorConfig, AWaveConfig, Algorithm, RunReport,
+};
+use freezetag_geometry::Point;
+use freezetag_instances::registry::{self, Built};
+use freezetag_instances::{AdmissibleTuple, Instance};
+use freezetag_sim::{
+    validate, AdversarialWorld, ConcreteWorld, RobotId, Schedule, Sim, ValidationOptions, WorldView,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Everything measured on one job of a plan. Every field except
+/// [`JobResult::wall_time_s`] is a deterministic function of
+/// `(plan, job index)` — the wall time is the only thing a machine or
+/// thread count may change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Job index in the plan's cross-product.
+    pub job: usize,
+    /// Scenario display name.
+    pub scenario: String,
+    /// Canonical generator name.
+    pub generator: String,
+    /// Algorithm label ([`AlgSpec::label`]).
+    pub algorithm: String,
+    /// Derived generator seed.
+    pub seed: u64,
+    /// Repetition number within the cell.
+    pub seed_index: usize,
+    /// Number of sleeping robots.
+    pub n: usize,
+    /// Connectivity parameter ℓ handed to the algorithm.
+    pub ell: f64,
+    /// Radius bound ρ handed to the algorithm.
+    pub rho: f64,
+    /// Measured eccentricity ξ_ℓ (concrete instances only).
+    pub xi_ell: Option<f64>,
+    /// Time the last robot was woken.
+    pub makespan: f64,
+    /// Time the last robot stopped moving.
+    pub completion_time: f64,
+    /// Worst per-robot travel. `NaN` for the centralized baselines, which
+    /// do not measure per-robot energy (emitted as JSON `null`/empty CSV
+    /// and skipped by aggregation).
+    pub max_energy: f64,
+    /// Total travel of the swarm (`NaN` for `central[optimal]`).
+    pub total_energy: f64,
+    /// `look` snapshots taken (0 for centralized baselines).
+    pub looks: usize,
+    /// Whether every robot ended awake.
+    pub all_awake: bool,
+    /// Wall-clock seconds this job took (non-deterministic).
+    pub wall_time_s: f64,
+}
+
+/// One fully materialized run, for harnesses that need more than the
+/// [`JobResult`] numbers: the schedule (wake times, timelines), the phase
+/// trace (inside [`RunReport`]), and the robot positions for rendering.
+#[derive(Debug, Clone)]
+pub struct SingleRun {
+    /// Source position.
+    pub source: Point,
+    /// Number of sleeping robots in the world (authoritative even when
+    /// `positions` is empty because an adversary kept robots hidden).
+    pub n: usize,
+    /// Robot positions — initial for concrete scenarios, final (pinned)
+    /// for adversarial ones (empty if not all were pinned).
+    pub positions: Vec<Point>,
+    /// Connectivity parameter ℓ of the run.
+    pub ell: f64,
+    /// Radius bound ρ of the run.
+    pub rho: f64,
+    /// Measured eccentricity ξ_ℓ (concrete instances only).
+    pub xi_ell: Option<f64>,
+    /// Validated measurements plus the phase trace.
+    pub report: RunReport,
+    /// The full schedule the run produced.
+    pub schedule: Schedule,
+}
+
+fn dispatch<W: WorldView>(
+    sim: &mut Sim<W>,
+    tuple: &AdmissibleTuple,
+    algorithm: Algorithm,
+    strategy: Option<WakeStrategy>,
+) -> Result<(), ExpError> {
+    match (algorithm, strategy) {
+        (Algorithm::Separator, s) => a_separator(
+            sim,
+            &ASeparatorConfig {
+                tuple: *tuple,
+                strategy: s.unwrap_or_default(),
+            },
+        ),
+        (_, Some(_)) => {
+            return Err(ExpError::Unsupported(format!(
+                "wake-strategy overrides only apply to ASeparator, not {algorithm}"
+            )))
+        }
+        (Algorithm::Grid, None) => a_grid(sim, &AGridConfig { ell: tuple.ell }),
+        (Algorithm::Wave, None) => a_wave(sim, &AWaveConfig { ell: tuple.ell }),
+    }
+    Ok(())
+}
+
+fn single_concrete(
+    scenario: &str,
+    inst: Instance,
+    algorithm: Algorithm,
+    strategy: Option<WakeStrategy>,
+) -> Result<SingleRun, ExpError> {
+    let tuple = inst.admissible_tuple();
+    let mut sim = Sim::new(ConcreteWorld::new(&inst));
+    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let looks = sim.world().look_count();
+    let (_, schedule, trace) = sim.into_parts();
+    let label = AlgSpec::Distributed {
+        algorithm,
+        strategy,
+    }
+    .label();
+    let vr = validate(
+        &schedule,
+        inst.source(),
+        inst.positions(),
+        &ValidationOptions::default(),
+    )
+    .map_err(|e| ExpError::validation(scenario, &label, e))?;
+    let report = RunReport {
+        algorithm,
+        makespan: vr.makespan,
+        completion_time: vr.completion_time,
+        max_energy: vr.max_energy,
+        total_energy: vr.total_energy,
+        wake_count: vr.wake_count,
+        all_awake: vr.robots_awake == inst.n() + 1,
+        looks,
+        trace,
+    };
+    // admissible_tuple() already paid for the radius/threshold pass; only
+    // the eccentricity at the rounded ℓ needs evaluating on top of it.
+    let xi_ell = freezetag_graph::eccentricity(&inst.all_points(), 0, tuple.ell);
+    Ok(SingleRun {
+        source: inst.source(),
+        n: inst.n(),
+        positions: inst.positions().to_vec(),
+        ell: tuple.ell,
+        rho: tuple.rho,
+        xi_ell,
+        report,
+        schedule,
+    })
+}
+
+fn single_adversarial(
+    scenario: &str,
+    layout: freezetag_instances::adversarial::AdversarialLayout,
+    algorithm: Algorithm,
+    strategy: Option<WakeStrategy>,
+) -> Result<SingleRun, ExpError> {
+    let tuple = AdmissibleTuple::new(layout.ell, layout.rho, layout.n());
+    let mut sim = Sim::new(AdversarialWorld::new(layout));
+    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let all_awake = sim.world().all_awake();
+    let looks = sim.world().look_count();
+    let finals = sim.world().final_positions();
+    let (_, schedule, trace) = sim.into_parts();
+    let label = AlgSpec::Distributed {
+        algorithm,
+        strategy,
+    }
+    .label();
+    let report = match &finals {
+        // All robots pinned: the revealed positions support the full
+        // independent schedule validation, exactly like a concrete run.
+        Some(positions) => {
+            let opts = ValidationOptions {
+                require_all_awake: false,
+                ..Default::default()
+            };
+            let vr = validate(&schedule, Point::ORIGIN, positions, &opts)
+                .map_err(|e| ExpError::validation(scenario, &label, e))?;
+            RunReport {
+                algorithm,
+                makespan: vr.makespan,
+                completion_time: vr.completion_time,
+                max_energy: vr.max_energy,
+                total_energy: vr.total_energy,
+                wake_count: vr.wake_count,
+                all_awake,
+                looks,
+                trace,
+            }
+        }
+        // Adversary still hiding robots: report schedule-level statistics.
+        None => RunReport {
+            algorithm,
+            makespan: schedule.makespan(),
+            completion_time: schedule.completion_time(),
+            max_energy: schedule.max_energy(),
+            total_energy: schedule.total_energy(),
+            wake_count: schedule.wakes().len(),
+            all_awake,
+            looks,
+            trace,
+        },
+    };
+    Ok(SingleRun {
+        source: Point::ORIGIN,
+        n: tuple.n,
+        positions: finals.unwrap_or_default(),
+        ell: tuple.ell,
+        rho: tuple.rho,
+        xi_ell: None,
+        report,
+        schedule,
+    })
+}
+
+/// Runs one scenario × algorithm × seed combination to completion and
+/// returns the full run — schedule, phase trace, positions — for harnesses
+/// (figures, SVG rendering) that need more than aggregate numbers.
+///
+/// # Errors
+///
+/// Registry errors, validation failures, or an [`ExpError::Unsupported`]
+/// combination (centralized baselines have no schedule, so only
+/// [`AlgSpec::Distributed`] is accepted here).
+pub fn run_single(spec: &ScenarioSpec, alg: AlgSpec, seed: u64) -> Result<SingleRun, ExpError> {
+    let AlgSpec::Distributed {
+        algorithm,
+        strategy,
+    } = alg
+    else {
+        return Err(ExpError::Unsupported(format!(
+            "run_single needs a distributed algorithm, got {}",
+            alg.label()
+        )));
+    };
+    match registry::build(&spec.generator, &spec.params, seed)? {
+        Built::Concrete(inst) => single_concrete(&spec.name, inst, algorithm, strategy),
+        Built::Adversarial(layout) => single_adversarial(&spec.name, layout, algorithm, strategy),
+    }
+}
+
+fn central_job(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+) -> Result<(usize, f64, f64, f64, f64), ExpError> {
+    let inst = registry::build_instance(&spec.generator, &spec.params, seed)?;
+    let items: Vec<(RobotId, Point)> = inst
+        .positions()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (RobotId::sleeper(i), p))
+        .collect();
+    let (makespan, total) = match alg {
+        AlgSpec::Central(strategy) => {
+            let tree = strategy.build(inst.source(), &items);
+            (tree.makespan(), tree.total_length())
+        }
+        AlgSpec::CentralOptimal => {
+            if inst.n() > 10 {
+                return Err(ExpError::Unsupported(format!(
+                    "central[optimal] is branch-and-bound; n={} > 10 on scenario '{}'",
+                    inst.n(),
+                    spec.name
+                )));
+            }
+            let m = optimal_makespan(inst.source(), inst.positions());
+            (m, f64::NAN)
+        }
+        AlgSpec::Distributed { .. } => unreachable!("routed to run_single"),
+    };
+    let tuple = inst.admissible_tuple();
+    Ok((inst.n(), tuple.ell, tuple.rho, makespan, total))
+}
+
+fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpError> {
+    let spec = &plan.scenarios[job.scenario];
+    let generator = registry::lookup(&spec.generator)
+        .map(|g| g.name.to_string())
+        .unwrap_or_else(|| spec.generator.clone());
+    let started = Instant::now();
+    let result = match job.algorithm {
+        AlgSpec::Distributed { .. } => {
+            let run = run_single(spec, job.algorithm, job.seed)?;
+            JobResult {
+                job: job.index,
+                scenario: spec.name.clone(),
+                generator,
+                algorithm: job.algorithm.label(),
+                seed: job.seed,
+                seed_index: job.seed_index,
+                n: run.n,
+                ell: run.ell,
+                rho: run.rho,
+                xi_ell: run.xi_ell,
+                makespan: run.report.makespan,
+                completion_time: run.report.completion_time,
+                max_energy: run.report.max_energy,
+                total_energy: run.report.total_energy,
+                looks: run.report.looks,
+                all_awake: run.report.all_awake,
+                wall_time_s: 0.0,
+            }
+        }
+        AlgSpec::Central(_) | AlgSpec::CentralOptimal => {
+            let (n, ell, rho, makespan, total_energy) = central_job(spec, job.algorithm, job.seed)?;
+            JobResult {
+                job: job.index,
+                scenario: spec.name.clone(),
+                generator,
+                algorithm: job.algorithm.label(),
+                seed: job.seed,
+                seed_index: job.seed_index,
+                n,
+                ell,
+                rho,
+                xi_ell: None,
+                makespan,
+                completion_time: makespan,
+                // A wake tree's makespan is a multi-robot critical path,
+                // not any single robot's travel — per-robot energy is
+                // simply not measured by the centralized baselines.
+                max_energy: f64::NAN,
+                total_energy,
+                looks: 0,
+                all_awake: true,
+                wall_time_s: 0.0,
+            }
+        }
+    };
+    Ok(JobResult {
+        wall_time_s: started.elapsed().as_secs_f64(),
+        ..result
+    })
+}
+
+/// Executes the plan's full cross-product on `threads` worker threads
+/// (clamped to `[1, job count]`) and returns the results in job order.
+/// All result fields except `wall_time_s` are independent of the thread
+/// count.
+///
+/// # Errors
+///
+/// Plan validation errors before anything runs. A failing job makes
+/// workers stop picking up further jobs (in-flight jobs finish), and the
+/// lowest-indexed recorded failure is returned.
+pub fn run_plan(plan: &ExperimentPlan, threads: usize) -> Result<Vec<JobResult>, ExpError> {
+    plan.validate()?;
+    let jobs = plan.jobs();
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<JobResult, ExpError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let out = execute_job(plan, job);
+                if out.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    let mut results = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => return Err(e),
+            // Unexecuted slot: a lower-indexed in-flight job failed, and
+            // its error is found by this very scan — unless the failure
+            // landed at a higher index, which the scan reaches next.
+            None => continue,
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScenarioSpec;
+
+    fn tiny_plan() -> ExperimentPlan {
+        ExperimentPlan::new("tiny")
+            .scenario(
+                ScenarioSpec::new("disk")
+                    .with("n", 12.0)
+                    .with("radius", 4.0),
+            )
+            .algorithm(Algorithm::Grid)
+            .algorithm(Algorithm::Wave)
+            .seeds(2)
+            .plan_seed(7)
+    }
+
+    #[test]
+    fn run_plan_reports_in_job_order_and_wakes_everyone() {
+        let results = run_plan(&tiny_plan(), 2).expect("plan runs");
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.job, i);
+            assert!(r.all_awake, "job {i} left robots asleep");
+            assert_eq!(r.n, 12);
+            assert!(r.makespan > 0.0);
+            assert!(r.xi_ell.is_some());
+        }
+        assert_eq!(results[0].algorithm, "AGrid");
+        assert_eq!(results[2].algorithm, "AWave");
+    }
+
+    #[test]
+    fn results_are_identical_for_any_thread_count() {
+        let plan = tiny_plan();
+        let a = run_plan(&plan, 1).unwrap();
+        let b = run_plan(&plan, 4).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            let mut y = y.clone();
+            y.wall_time_s = x.wall_time_s;
+            assert_eq!(*x, y, "job {} differs across thread counts", x.job);
+        }
+    }
+
+    #[test]
+    fn strategy_override_runs_and_mismatches_error() {
+        let spec = ScenarioSpec::new("disk")
+            .with("n", 15.0)
+            .with("radius", 5.0);
+        let run = run_single(&spec, AlgSpec::separator_with(WakeStrategy::Chain), 3).unwrap();
+        assert!(run.report.all_awake);
+        let err = run_single(
+            &spec,
+            AlgSpec::Distributed {
+                algorithm: Algorithm::Grid,
+                strategy: Some(WakeStrategy::Chain),
+            },
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExpError::Unsupported(_)));
+    }
+
+    #[test]
+    fn central_baselines_and_optimal_run_through_the_engine() {
+        let plan = ExperimentPlan::new("central")
+            .scenario(ScenarioSpec::new("disk").with("n", 6.0).with("radius", 4.0))
+            .algorithm(AlgSpec::Central(WakeStrategy::Quadtree))
+            .algorithm(AlgSpec::Central(WakeStrategy::Greedy))
+            .algorithm(AlgSpec::CentralOptimal);
+        let results = run_plan(&plan, 2).unwrap();
+        assert_eq!(results.len(), 3);
+        let opt = results[2].makespan;
+        assert!(opt > 0.0);
+        assert!(results[0].makespan >= opt - 1e-9, "quadtree beats optimal?");
+        assert!(results[1].makespan >= opt - 1e-9, "greedy beats optimal?");
+    }
+
+    #[test]
+    fn central_results_aggregate_and_emit_without_panicking() {
+        // Regression: central jobs leave per-robot energy (and, for the
+        // exact optimum, total energy) unmeasured as NaN — aggregation
+        // must skip them and the JSON emitters must render null.
+        let plan = ExperimentPlan::new("central-agg")
+            .scenario(ScenarioSpec::new("disk").with("n", 6.0).with("radius", 4.0))
+            .algorithm(AlgSpec::CentralOptimal)
+            .algorithm(AlgSpec::Central(WakeStrategy::Quadtree))
+            .seeds(2);
+        let results = run_plan(&plan, 2).expect("plan runs");
+        let aggregates = crate::agg::aggregate(&results);
+        assert_eq!(aggregates.len(), 2);
+        assert!(aggregates[0].max_energy.mean.is_nan());
+        let json = crate::emit::aggregates_to_json(&plan, &aggregates);
+        assert!(
+            json.contains("\"max_energy\":{\"mean\":null"),
+            "unmeasured energy must emit null: {json}"
+        );
+        let csv = crate::emit::jobs_to_csv(&results);
+        assert!(!csv.contains("NaN"), "NaN leaked into CSV: {csv}");
+    }
+
+    #[test]
+    fn failing_job_aborts_the_plan_with_its_error() {
+        // central[optimal] refuses n > 10; the error must surface instead
+        // of the runner running (or hanging on) the remaining jobs.
+        let plan = ExperimentPlan::new("abort")
+            .scenario(
+                ScenarioSpec::new("disk")
+                    .with("n", 50.0)
+                    .with("radius", 8.0),
+            )
+            .algorithm(AlgSpec::CentralOptimal)
+            .algorithm(Algorithm::Grid)
+            .seeds(4);
+        let err = run_plan(&plan, 2).unwrap_err();
+        assert!(matches!(err, ExpError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn adversarial_scenario_runs_separator_through_the_engine() {
+        let plan = ExperimentPlan::new("adv")
+            .scenario(
+                ScenarioSpec::new("theorem2")
+                    .with("ell", 2.0)
+                    .with("rho", 8.0)
+                    .with("n", 40.0),
+            )
+            .algorithm(Algorithm::Separator);
+        let results = run_plan(&plan, 1).unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].all_awake, "adversarial robots must all wake");
+        assert!(results[0].looks > 0);
+        assert_eq!(results[0].xi_ell, None);
+    }
+}

@@ -32,5 +32,6 @@ pub mod generators;
 mod instance;
 pub mod io;
 pub mod path_construction;
+pub mod registry;
 
 pub use instance::{AdmissibleTuple, Instance};

@@ -2,51 +2,85 @@
 //!
 //! ```console
 //! $ dftp solve --alg separator --gen disk --n 100 --radius 20 --seed 1
-//! $ dftp solve --alg wave --gen snake --legs 5 --leg 40 --spacing 1
 //! $ dftp params --gen disk --n 200 --radius 30 --seed 7
 //! $ dftp svg --alg separator --gen lattice --side 12 --spacing 2 --out run.svg
 //! $ dftp compare --gen snake --legs 4 --leg 60 --spacing 2
+//! $ dftp generate --gen clusters --per 25 --seed 3 --out swarm.csv
+//! $ dftp sweep --scenarios disk:n=80:radius=15,snake:legs=6 \
+//!       --algs separator,grid,wave --seeds 5 --threads 4 --out results.json
 //! ```
 //!
-//! Everything is deterministic given `--seed`.
+//! Generators are resolved through the scenario registry
+//! (`freezetag::instances::registry`); unknown `--options` are usage
+//! errors, not silently ignored. Everything is deterministic given
+//! `--seed` (or, for sweeps, `--plan-seed` — for any `--threads`).
 
 use freezetag::core::{bounds, run_algorithm, solve, Algorithm};
-use freezetag::instances::generators::{clustered, grid_lattice, ring, snake, uniform_disk};
+use freezetag::exp::{agg, emit, run_plan, run_single, AlgSpec, ExperimentPlan, ScenarioSpec};
+use freezetag::instances::registry::{self, GeneratorInfo, ParamMap};
 use freezetag::instances::Instance;
 use freezetag::sim::svg::{render_run, SvgOptions};
 use freezetag::sim::{ConcreteWorld, Sim};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, opts)) = parse(&args) else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     match run(&cmd, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::FAILURE
         }
     }
 }
 
-const USAGE: &str = "usage:
-  dftp solve   --alg <separator|grid|wave> --gen <GEN> [GEN OPTIONS]
-               [--strategy <quadtree|greedy|median|chain>]  (separator only)
-  dftp compare --gen <GEN> [GEN OPTIONS]
-  dftp params  --gen <GEN> [GEN OPTIONS]
-  dftp svg     --alg <ALG> --gen <GEN> [GEN OPTIONS] --out <FILE>
+fn usage() -> String {
+    let mut out = String::from(
+        "usage:
+  dftp solve    --alg <separator|grid|wave> --gen <GEN> [GEN OPTIONS]
+                [--strategy <quadtree|greedy|median|chain>]  (separator only)
+  dftp compare  --gen <GEN> [GEN OPTIONS]
+  dftp params   --gen <GEN> [GEN OPTIONS]
+  dftp svg      --alg <ALG> --gen <GEN> [GEN OPTIONS] --out <FILE>
+  dftp generate --gen <GEN> [GEN OPTIONS] [--out <FILE>]
+  dftp sweep    --scenarios <SPEC[,SPEC...]> [--algs <A[,A...]>]
+                [--seeds <K>] [--plan-seed <S>] [--threads <N>]
+                [--format <json|jsonl|csv>] [--out <FILE>]
+                [--bench-json <FILE>] [--name <NAME>]
 
-generators (defaults in parentheses):
-  disk     --n (60) --radius (12) --seed (1)
-  lattice  --side (8) --spacing (1.5)
-  snake    --legs (4) --leg (30) --riser (2) --spacing (1)
-  ring     --n (36) --radius (10) --spacing (1) --seed (1)
-  clusters --clusters (4) --per (15) --cradius (1.5) --spread (18) --seed (1)";
+sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
+sweep algorithms:     separator[:STRATEGY] | grid | wave |
+                      central:STRATEGY | optimal  (default: separator,grid,wave)
+
+generators (defaults in parentheses; unseeded generators ignore --seed):
+",
+    );
+    for g in registry::GENERATORS {
+        let mut name = g.name.to_string();
+        for a in g.aliases {
+            let _ = write!(name, " | {a}");
+        }
+        let params: Vec<String> = g
+            .params
+            .iter()
+            .map(|p| format!("--{} ({})", p.key, p.default))
+            .collect();
+        let _ = writeln!(out, "  {name:<34} {}", params.join(" "));
+    }
+    out.push_str(
+        "\nthe adversarial layouts (theorem2, theorem3) run via solve and sweep;\n\
+         compare/params/svg/generate need a concrete instance and reject them.",
+    );
+    out
+}
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let cmd = args.first()?.clone();
@@ -61,11 +95,23 @@ fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     Some((cmd, opts))
 }
 
-fn get_f(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
-    match opts.get(key) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number")),
+/// Rejects any `--key` the command does not understand. `allowed` holds
+/// the command's own keys; generator parameters are appended by the
+/// caller, so `dftp solve --gen lattice --radius 5` is an error too.
+fn check_keys(cmd: &str, opts: &HashMap<String, String>, allowed: &[&str]) -> Result<(), String> {
+    for key in opts.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown option '--{key}' for '{cmd}' (accepted: {})",
+                allowed
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
     }
+    Ok(())
 }
 
 fn get_u(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
@@ -75,36 +121,48 @@ fn get_u(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<us
     }
 }
 
-fn build_instance(opts: &HashMap<String, String>) -> Result<Instance, String> {
+/// Resolves `--gen` against the registry and checks all provided keys
+/// against `base` (command keys) plus the generator's own parameters.
+fn resolve_generator(
+    cmd: &str,
+    opts: &HashMap<String, String>,
+    base: &[&str],
+) -> Result<(&'static GeneratorInfo, ParamMap), String> {
     let gen = opts.get("gen").map(String::as_str).unwrap_or("disk");
-    let seed = get_u(opts, "seed", 1)? as u64;
-    Ok(match gen {
-        "disk" => uniform_disk(get_u(opts, "n", 60)?, get_f(opts, "radius", 12.0)?, seed),
-        "lattice" => {
-            let side = get_u(opts, "side", 8)?;
-            grid_lattice(side, side, get_f(opts, "spacing", 1.5)?)
+    let info = registry::lookup(gen).ok_or_else(|| {
+        format!(
+            "unknown generator '{gen}' (known: {})",
+            registry::GENERATORS
+                .iter()
+                .map(|g| g.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let mut allowed: Vec<&str> = base.to_vec();
+    allowed.extend(["gen", "seed"]);
+    allowed.extend(info.params.iter().map(|p| p.key));
+    check_keys(cmd, opts, &allowed)?;
+    let mut params = ParamMap::new();
+    for spec in info.params {
+        if let Some(raw) = opts.get(spec.key) {
+            let value: f64 = raw
+                .parse()
+                .map_err(|_| format!("--{} expects a number", spec.key))?;
+            params.insert(spec.key.to_string(), value);
         }
-        "snake" => snake(
-            get_u(opts, "legs", 4)?,
-            get_f(opts, "leg", 30.0)?,
-            get_f(opts, "riser", 2.0)?,
-            get_f(opts, "spacing", 1.0)?,
-        ),
-        "ring" => ring(
-            get_u(opts, "n", 36)?,
-            get_f(opts, "radius", 10.0)?,
-            get_f(opts, "spacing", 1.0)?,
-            seed,
-        ),
-        "clusters" => clustered(
-            get_u(opts, "clusters", 4)?,
-            get_u(opts, "per", 15)?,
-            get_f(opts, "cradius", 1.5)?,
-            get_f(opts, "spread", 18.0)?,
-            seed,
-        ),
-        other => return Err(format!("unknown generator '{other}'")),
-    })
+    }
+    Ok((info, params))
+}
+
+fn build_instance(
+    cmd: &str,
+    opts: &HashMap<String, String>,
+    base: &[&str],
+) -> Result<Instance, String> {
+    let (info, params) = resolve_generator(cmd, opts, base)?;
+    let seed = get_u(opts, "seed", 1)? as u64;
+    registry::build_instance(info.name, &params, seed).map_err(|e| e.to_string())
 }
 
 fn parse_alg(opts: &HashMap<String, String>) -> Result<Algorithm, String> {
@@ -154,71 +212,187 @@ fn print_report(inst: &Instance, alg: Algorithm) -> Result<(), String> {
     Ok(())
 }
 
-fn run(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
-    let inst = build_instance(opts)?;
-    match cmd {
-        "solve" => {
-            let alg = parse_alg(opts)?;
-            let strategy = parse_strategy(opts)?;
-            if alg == Algorithm::Separator && strategy != freezetag::central::WakeStrategy::Quadtree
-            {
-                // Ablation path: run ASeparator with the chosen Lemma 2
-                // substitute (only the unconstrained algorithm may deviate
-                // from the O(R) quadtree; see core::separator docs).
-                let tuple = inst.admissible_tuple();
-                let mut sim = Sim::new(ConcreteWorld::new(&inst));
-                freezetag::core::a_separator(
-                    &mut sim,
-                    &freezetag::core::ASeparatorConfig { tuple, strategy },
-                );
-                use freezetag::sim::WorldView;
-                println!(
-                    "ASeparator[{strategy}] on n={}: makespan {:.2}, all awake: {}",
-                    inst.n(),
-                    sim.schedule().makespan(),
-                    sim.world().all_awake()
-                );
-                return Ok(());
-            }
-            print_report(&inst, alg)
+fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let alg = parse_alg(opts)?;
+    let strategy = parse_strategy(opts)?;
+    if opts.contains_key("strategy") && alg != Algorithm::Separator {
+        return Err(format!(
+            "--strategy only applies to --alg separator, not {alg}"
+        ));
+    }
+    let (info, params) = resolve_generator("solve", opts, &["alg", "strategy"])?;
+    let seed = get_u(opts, "seed", 1)? as u64;
+    // Two cases route through the engine's run_single: a Lemma 2 strategy
+    // override (only ASeparator may deviate from the O(R) quadtree; see
+    // core::separator docs), and the adversarial layouts, which have no
+    // concrete instance for print_report to analyse.
+    if info.adversarial || strategy != freezetag::central::WakeStrategy::Quadtree {
+        let spec = ScenarioSpec {
+            name: info.name.to_string(),
+            generator: info.name.to_string(),
+            params,
+        };
+        let algspec = if strategy != freezetag::central::WakeStrategy::Quadtree {
+            AlgSpec::separator_with(strategy)
+        } else {
+            AlgSpec::from(alg)
+        };
+        let run = run_single(&spec, algspec, seed).map_err(|e| e.to_string())?;
+        println!(
+            "{} on n={}: makespan {:.2}, all awake: {}",
+            algspec.label(),
+            run.n,
+            run.report.makespan,
+            run.report.all_awake
+        );
+        return Ok(());
+    }
+    let inst = registry::build_instance(info.name, &params, seed).map_err(|e| e.to_string())?;
+    print_report(&inst, alg)
+}
+
+fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = build_instance("compare", opts, &[])?;
+    for alg in [Algorithm::Separator, Algorithm::Grid, Algorithm::Wave] {
+        print_report(&inst, alg)?;
+    }
+    Ok(())
+}
+
+fn cmd_params(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = build_instance("params", opts, &[])?;
+    let p = inst.params(None);
+    let tuple = inst.admissible_tuple();
+    println!("n     = {}", inst.n());
+    println!("ρ*    = {:.4}", p.rho_star);
+    println!("ℓ*    = {:.4}", p.ell_star);
+    println!("ξ_ℓ*  = {:?}", p.xi_ell);
+    println!("tuple = {tuple}");
+    Ok(())
+}
+
+fn cmd_svg(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = build_instance("svg", opts, &["alg", "out"])?;
+    let alg = parse_alg(opts)?;
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "dftp_run.svg".to_string());
+    let tuple = inst.admissible_tuple();
+    let mut sim = Sim::new(ConcreteWorld::new(&inst));
+    run_algorithm(&mut sim, &tuple, alg);
+    let (_, schedule, _) = sim.into_parts();
+    let svg = render_run(
+        inst.source(),
+        inst.positions(),
+        Some(&schedule),
+        &[],
+        &SvgOptions::default(),
+    );
+    std::fs::write(&out, svg).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = build_instance("generate", opts, &["out"])?;
+    let csv = freezetag::instances::io::to_csv(&inst);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| e.to_string())?;
+            println!("wrote {path} ({} robots + source)", inst.n());
         }
-        "compare" => {
-            for alg in [Algorithm::Separator, Algorithm::Grid, Algorithm::Wave] {
-                print_report(&inst, alg)?;
-            }
-            Ok(())
-        }
-        "params" => {
-            let p = inst.params(None);
-            let tuple = inst.admissible_tuple();
-            println!("n     = {}", inst.n());
-            println!("ρ*    = {:.4}", p.rho_star);
-            println!("ℓ*    = {:.4}", p.ell_star);
-            println!("ξ_ℓ*  = {:?}", p.xi_ell);
-            println!("tuple = {tuple}");
-            Ok(())
-        }
-        "svg" => {
-            let alg = parse_alg(opts)?;
-            let out = opts
-                .get("out")
-                .cloned()
-                .unwrap_or_else(|| "dftp_run.svg".to_string());
-            let tuple = inst.admissible_tuple();
-            let mut sim = Sim::new(ConcreteWorld::new(&inst));
-            run_algorithm(&mut sim, &tuple, alg);
-            let (_, schedule, _) = sim.into_parts();
-            let svg = render_run(
-                inst.source(),
-                inst.positions(),
-                Some(&schedule),
-                &[],
-                &SvgOptions::default(),
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_keys(
+        "sweep",
+        opts,
+        &[
+            "scenarios",
+            "algs",
+            "seeds",
+            "plan-seed",
+            "threads",
+            "format",
+            "out",
+            "bench-json",
+            "name",
+        ],
+    )?;
+    let scenarios_text = opts
+        .get("scenarios")
+        .ok_or("sweep requires --scenarios (e.g. --scenarios disk:n=40,ring)")?;
+    let scenarios: Vec<ScenarioSpec> = scenarios_text
+        .split(',')
+        .map(ScenarioSpec::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let algs_text = opts
+        .get("algs")
+        .map(String::as_str)
+        .unwrap_or("separator,grid,wave");
+    let algorithms: Vec<AlgSpec> = algs_text
+        .split(',')
+        .map(AlgSpec::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let mut plan = ExperimentPlan::new(opts.get("name").map(String::as_str).unwrap_or("sweep"))
+        .seeds(get_u(opts, "seeds", 3)?)
+        .plan_seed(get_u(opts, "plan-seed", 1)? as u64);
+    plan.scenarios = scenarios;
+    plan.algorithms = algorithms;
+    let threads = get_u(opts, "threads", 1)?;
+    // Reject a bad --format (and an invalid plan) before the sweep runs,
+    // not after hours of jobs whose output would then be discarded.
+    let format = opts.get("format").map(String::as_str).unwrap_or("json");
+    if !matches!(format, "json" | "jsonl" | "csv") {
+        return Err(format!("unknown format '{format}' (json|jsonl|csv)"));
+    }
+
+    let started = Instant::now();
+    let results = run_plan(&plan, threads).map_err(|e| e.to_string())?;
+    let total_wall = started.elapsed().as_secs_f64();
+    let aggregates = agg::aggregate(&results);
+
+    let payload = match format {
+        "json" => emit::aggregates_to_json(&plan, &aggregates),
+        "jsonl" => emit::jobs_to_jsonl(&results),
+        "csv" => emit::jobs_to_csv(&results),
+        other => unreachable!("format '{other}' validated above"),
+    };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &payload).map_err(|e| e.to_string())?;
+            print!("{}", emit::aggregates_to_markdown(&aggregates));
+            println!(
+                "\n{} jobs on {} thread(s) in {:.2}s — wrote {path}",
+                results.len(),
+                threads.clamp(1, results.len().max(1)),
+                total_wall
             );
-            std::fs::write(&out, svg).map_err(|e| e.to_string())?;
-            println!("wrote {out}");
-            Ok(())
         }
+        None => print!("{payload}"),
+    }
+    if let Some(path) = opts.get("bench-json") {
+        let doc = emit::bench_results_json(&plan, &aggregates, threads, total_wall);
+        std::fs::write(path, doc).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    match cmd {
+        "solve" => cmd_solve(opts),
+        "compare" => cmd_compare(opts),
+        "params" => cmd_params(opts),
+        "svg" => cmd_svg(opts),
+        "generate" => cmd_generate(opts),
+        "sweep" => cmd_sweep(opts),
         other => Err(format!("unknown command '{other}'")),
     }
 }

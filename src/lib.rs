@@ -13,7 +13,10 @@
 //! * [`sim`] — the continuous-time Look-Compute-Move simulation substrate;
 //! * [`central`] — centralized Freeze Tag (wake-up trees on known positions);
 //! * [`core`] — the distributed algorithms `ASeparator`, `AGrid`, `AWave`
-//!   and their building blocks `Explore` and `DFSampling`.
+//!   and their building blocks `Explore` and `DFSampling`;
+//! * [`exp`] — the experiment engine: declarative scenario × algorithm ×
+//!   seed plans, parallel execution, aggregation and machine-readable
+//!   results.
 //!
 //! # Quickstart
 //!
@@ -30,6 +33,7 @@
 
 pub use freezetag_central as central;
 pub use freezetag_core as core;
+pub use freezetag_exp as exp;
 pub use freezetag_geometry as geometry;
 pub use freezetag_graph as graph;
 pub use freezetag_instances as instances;
@@ -41,6 +45,7 @@ pub mod prelude {
     pub use freezetag_core::{
         solve, AGridConfig, ASeparatorConfig, AWaveConfig, Algorithm, RunReport,
     };
+    pub use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
     pub use freezetag_geometry::{Point, Rect, Square};
     pub use freezetag_graph::InstanceParams;
     pub use freezetag_instances::{

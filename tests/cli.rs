@@ -137,3 +137,184 @@ fn dangling_flag_fails_with_usage() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("usage:"), "stderr: {}", stderr(&out));
 }
+
+#[test]
+fn unknown_option_fails_with_usage() {
+    let out = dftp(&["solve", "--gen", "disk", "--frobnicate", "3"]);
+    assert!(!out.status.success(), "unknown options must be rejected");
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown option '--frobnicate'"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn option_of_a_different_generator_is_rejected() {
+    // --radius belongs to disk/ring, not to the lattice generator.
+    let out = dftp(&["solve", "--gen", "lattice", "--radius", "5"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown option '--radius'"), "stderr: {err}");
+}
+
+#[test]
+fn strategy_on_non_separator_algorithm_is_rejected() {
+    let out = dftp(&[
+        "solve",
+        "--alg",
+        "grid",
+        "--strategy",
+        "chain",
+        "--gen",
+        "disk",
+    ]);
+    assert!(!out.status.success(), "--strategy must not be ignored");
+    let err = stderr(&out);
+    assert!(
+        err.contains("--strategy only applies to --alg separator"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn solve_runs_adversarial_layouts_through_the_engine() {
+    let out = dftp(&[
+        "solve",
+        "--alg",
+        "separator",
+        "--gen",
+        "theorem2",
+        "--ell",
+        "2",
+        "--rho",
+        "8",
+        "--n",
+        "40",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ASeparator on n="), "{text}");
+    assert!(text.contains("all awake: true"), "{text}");
+}
+
+#[test]
+fn sweep_with_optimal_baseline_succeeds() {
+    let out = dftp(&[
+        "sweep",
+        "--scenarios",
+        "disk:n=8:radius=5",
+        "--algs",
+        "optimal,central:quadtree,separator:greedy",
+        "--seeds",
+        "2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("central[optimal]"), "{text}");
+    assert!(
+        text.contains("\"max_energy\":{\"mean\":null"),
+        "unmeasured central energy must emit null: {text}"
+    );
+}
+
+#[test]
+fn unknown_sweep_option_and_format_are_rejected() {
+    let out = dftp(&["sweep", "--scenarios", "disk", "--bogus", "1"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown option '--bogus'"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let out = dftp(&["sweep", "--scenarios", "disk:n=5", "--format", "yaml"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown format 'yaml'"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn sweep_emits_identical_json_for_any_thread_count() {
+    let run = |threads: &str| {
+        dftp(&[
+            "sweep",
+            "--scenarios",
+            "disk:n=15:radius=5,ring:n=12:radius=6",
+            "--algs",
+            "grid,wave",
+            "--seeds",
+            "2",
+            "--plan-seed",
+            "5",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    let three = run("3");
+    assert!(one.status.success(), "stderr: {}", stderr(&one));
+    assert!(three.status.success(), "stderr: {}", stderr(&three));
+    assert_eq!(
+        stdout(&one),
+        stdout(&three),
+        "aggregated sweep JSON must be byte-identical across thread counts"
+    );
+    let text = stdout(&one);
+    assert!(text.contains("\"groups\""), "missing groups: {text}");
+    assert!(text.contains("\"makespan\""), "missing stats: {text}");
+    assert!(text.contains("\"p95\""), "missing percentiles: {text}");
+}
+
+#[test]
+fn sweep_jsonl_has_one_record_per_job() {
+    let out = dftp(&[
+        "sweep",
+        "--scenarios",
+        "disk:n=10:radius=4",
+        "--algs",
+        "grid",
+        "--seeds",
+        "3",
+        "--format",
+        "jsonl",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 3, "3 jobs expected: {text}");
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"algorithm\":\"AGrid\""), "{line}");
+    }
+}
+
+#[test]
+fn generate_round_trips_through_the_csv_loader() {
+    let path = std::env::temp_dir().join(format!("dftp_gen_{}.csv", std::process::id()));
+    let out = dftp(&[
+        "generate",
+        "--gen",
+        "disk",
+        "--n",
+        "12",
+        "--radius",
+        "4",
+        "--seed",
+        "3",
+        "--out",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("generated file");
+    std::fs::remove_file(&path).ok();
+    let inst = freezetag::instances::io::from_csv(&text).expect("parseable CSV");
+    assert_eq!(inst.n(), 12);
+    assert_eq!(
+        inst,
+        freezetag::instances::generators::uniform_disk(12, 4.0, 3),
+        "generate must write exactly the registry instance"
+    );
+}

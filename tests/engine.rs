@@ -1,0 +1,99 @@
+//! Integration tests of the experiment engine through the facade crate:
+//! determinism across thread counts, paired seeding, and the
+//! machine-readable emission formats.
+
+use freezetag::core::Algorithm;
+use freezetag::exp::{agg, emit, run_plan, ExperimentPlan, ScenarioSpec};
+
+fn reference_plan() -> ExperimentPlan {
+    ExperimentPlan::new("engine-determinism")
+        .scenario(
+            ScenarioSpec::new("disk")
+                .with("n", 30.0)
+                .with("radius", 8.0),
+        )
+        .scenario(
+            ScenarioSpec::new("clusters")
+                .with("clusters", 3.0)
+                .with("per", 10.0),
+        )
+        .algorithm(Algorithm::Separator)
+        .algorithm(Algorithm::Grid)
+        .seeds(3)
+        .plan_seed(99)
+}
+
+#[test]
+fn same_plan_seed_gives_identical_results_for_any_thread_count() {
+    let plan = reference_plan();
+    let one = run_plan(&plan, 1).expect("single-threaded run");
+    let four = run_plan(&plan, 4).expect("multi-threaded run");
+    assert_eq!(one.len(), 12);
+    for (a, b) in one.iter().zip(&four) {
+        let mut b = b.clone();
+        b.wall_time_s = a.wall_time_s;
+        assert_eq!(*a, b, "job {} differs across thread counts", a.job);
+    }
+    let json_one = emit::aggregates_to_json(&plan, &agg::aggregate(&one));
+    let json_four = emit::aggregates_to_json(&plan, &agg::aggregate(&four));
+    assert_eq!(
+        json_one, json_four,
+        "aggregated JSON must be byte-identical for any thread count"
+    );
+}
+
+#[test]
+fn different_plan_seeds_change_seeded_scenarios() {
+    let base = reference_plan();
+    let reseeded = reference_plan().plan_seed(100);
+    let a = run_plan(&base, 2).expect("plan runs");
+    let b = run_plan(&reseeded, 2).expect("plan runs");
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.seed != y.seed),
+        "plan seed must flow into job seeds"
+    );
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.makespan != y.makespan),
+        "different plan seeds must produce different disk instances"
+    );
+}
+
+#[test]
+fn algorithms_within_a_cell_share_their_instance() {
+    let plan = reference_plan();
+    let results = run_plan(&plan, 2).expect("plan runs");
+    // Jobs 0..3 are ASeparator on disk seeds 0..3; jobs 3..6 AGrid, same
+    // scenario and repetitions: the paired design means identical seeds
+    // and hence identical instances (same n, ell, rho, xi).
+    for rep in 0..3 {
+        let sep = &results[rep];
+        let grid = &results[rep + 3];
+        assert_eq!(sep.seed, grid.seed, "rep {rep} not paired");
+        assert_eq!(sep.ell, grid.ell);
+        assert_eq!(sep.rho, grid.rho);
+        assert_eq!(sep.xi_ell, grid.xi_ell);
+    }
+}
+
+#[test]
+fn bench_results_document_has_the_promised_schema() {
+    let plan = reference_plan();
+    let results = run_plan(&plan, 2).expect("plan runs");
+    let aggregates = agg::aggregate(&results);
+    assert_eq!(aggregates.len(), 4, "2 scenarios × 2 algorithms");
+    let doc = emit::bench_results_json(&plan, &aggregates, 2, 1.25);
+    for needle in [
+        "\"schema\": \"freezetag-bench-results/v1\"",
+        "\"plan\": \"engine-determinism\"",
+        "\"seeds_per_cell\": 3",
+        "\"threads\": 2",
+        "\"total_wall_time_s\": 1.25",
+        "\"scenario\":\"disk\"",
+        "\"algorithm\":\"AGrid\"",
+        "\"makespan\":{\"mean\":",
+        "\"p95\":",
+        "\"wall_time_s\":",
+    ] {
+        assert!(doc.contains(needle), "missing `{needle}` in:\n{doc}");
+    }
+}

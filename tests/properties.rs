@@ -160,6 +160,18 @@ proptest! {
         }
     }
 
+    /// CSV round trip: `io::from_csv ∘ io::to_csv` is the identity on
+    /// instances — shortest round-trip float formatting preserves every
+    /// coordinate bit.
+    #[test]
+    fn csv_round_trip_is_identity(pts in arb_points(30, 50.0)) {
+        prop_assume!(pts.len() >= 2);
+        let inst = freezetag::instances::Instance::with_source(pts[0], pts[1..].to_vec());
+        let text = freezetag::instances::io::to_csv(&inst);
+        let back = freezetag::instances::io::from_csv(&text).expect("own output parses");
+        prop_assert_eq!(inst, back);
+    }
+
     /// Dijkstra distances are consistent: parent pointers reconstruct
     /// distances and the triangle inequality holds edge-wise.
     #[test]
