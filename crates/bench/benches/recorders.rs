@@ -1,0 +1,51 @@
+//! Criterion benchmark of the recorder profiles: the same `AGrid` run on
+//! the same 10⁵-robot instance, recorded by the constant-memory
+//! `StatsRecorder` versus the full segment-timeline `FullRecorder`. The
+//! stats profile must be strictly faster (no segment pushes, no timeline
+//! reallocation) and strictly smaller — the claim behind
+//! `dftp sweep --profile stats` at production scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freezetag_core::{a_grid, AGridConfig};
+use freezetag_instances::registry::{self, ParamMap};
+use freezetag_instances::Instance;
+use freezetag_sim::{ConcreteWorld, Recorder, Sim, WorldView};
+use std::hint::black_box;
+
+const ELL: f64 = 4.0;
+
+fn instance_100k() -> Instance {
+    let mut params = ParamMap::new();
+    params.insert("n".to_string(), 100_000.0);
+    params.insert("radius".to_string(), 200.0);
+    params.insert("ell".to_string(), ELL);
+    registry::build_instance("uniform_1m", &params, 7).expect("scale family builds")
+}
+
+fn bench_recorders(c: &mut Criterion) {
+    let inst = instance_100k();
+    let mut g = c.benchmark_group("recorders");
+    g.sample_size(10);
+    g.bench_function("agrid_100k_stats", |b| {
+        b.iter(|| {
+            let mut sim = Sim::with_stats(ConcreteWorld::new(&inst));
+            a_grid(&mut sim, &AGridConfig { ell: ELL });
+            assert!(sim.world().all_awake());
+            let (_, rec, _) = sim.into_recorder_parts();
+            black_box((rec.makespan(), rec.memory_bytes()))
+        });
+    });
+    g.bench_function("agrid_100k_full", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            a_grid(&mut sim, &AGridConfig { ell: ELL });
+            assert!(sim.world().all_awake());
+            let (_, schedule, _) = sim.into_parts();
+            black_box((schedule.makespan(), schedule.memory_bytes()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorders);
+criterion_main!(benches);

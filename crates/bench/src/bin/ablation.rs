@@ -18,7 +18,7 @@
 use freezetag_bench::{default_threads, f1, f2, header, row};
 use freezetag_central::WakeStrategy;
 use freezetag_core::{spiral_search, team_search};
-use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
+use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, Profile, ScenarioSpec};
 use freezetag_geometry::{Point, Rect};
 use freezetag_instances::generators::uniform_disk;
 use freezetag_instances::Instance;
@@ -115,7 +115,10 @@ fn central_strategies() {
 /// with each Lemma 2 substitute plugged into its terminating rounds.
 fn end_to_end_strategy() {
     println!("\n## Ablation 1b — ASeparator end-to-end, per wake strategy\n");
-    let mut plan = ExperimentPlan::new("ablation-end-to-end");
+    // Only makespans are compared here, so the constant-memory stats
+    // profile suffices — the full-schedule validation of these exact runs
+    // is covered by the engine's own test suite.
+    let mut plan = ExperimentPlan::new("ablation-end-to-end").profile(Profile::Stats);
     for strategy in WakeStrategy::ALL {
         plan = plan.algorithm(AlgSpec::separator_with(strategy));
     }

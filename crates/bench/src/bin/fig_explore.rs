@@ -32,13 +32,16 @@ fn main() {
 }
 
 /// Times one robot sweeping a w×h rectangle (no sleepers: pure sweep).
+/// Pure timing, so it runs on the constant-memory stats driver with a
+/// reused sighting buffer — the sweep itself is allocation-free.
 fn sweep_time(w: f64, h: f64) -> f64 {
     let inst = Instance::new(vec![Point::new(-100.0, -100.0)]);
-    let mut sim = Sim::new(ConcreteWorld::new(&inst));
+    let mut sim = Sim::with_stats(ConcreteWorld::new(&inst));
     let rect = Rect::with_size(Point::ORIGIN, w, h);
+    let mut sightings = Vec::new();
     for snap in freezetag_geometry::sweep::snapshot_positions(&rect) {
         sim.move_to(RobotId::SOURCE, snap);
-        let _ = sim.look(RobotId::SOURCE);
+        sim.look_into(RobotId::SOURCE, &mut sightings);
     }
     sim.time(RobotId::SOURCE)
 }
@@ -87,11 +90,12 @@ fn collaborative() {
         let t0 = sim.time(RobotId::SOURCE);
         // Each member sweeps one horizontal strip (the Lemma 1 scheme).
         let rect = Rect::with_size(Point::new(2.0, 2.0), side, side);
+        let mut sightings = Vec::new();
         for (i, &m) in members.iter().enumerate() {
             let strip = rect.horizontal_strips(k)[i];
             for snap in freezetag_geometry::sweep::snapshot_positions(&strip) {
                 sim.move_to(m, snap);
-                let _ = sim.look(m);
+                sim.look_into(m, &mut sightings);
             }
             sim.move_to(m, rect.min());
         }

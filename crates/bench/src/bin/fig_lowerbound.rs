@@ -37,7 +37,7 @@ fn theorem2_series() {
         "makespan",
         "ρ + ℓ²·log m",
         "ratio",
-        "pinned late?",
+        "schedule KiB",
     ]);
     for r in &results {
         assert!(r.all_awake, "adversarial robots must all wake");
@@ -49,7 +49,7 @@ fn theorem2_series() {
             f1(r.makespan),
             f1(shape),
             f2(r.makespan / shape),
-            "yes (adaptive)".into(),
+            f1(r.peak_mem_bytes / 1024.0),
         ]);
     }
     println!("\nshape check: ratio bounded while m grows ~4× per row — the");

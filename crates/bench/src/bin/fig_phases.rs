@@ -77,9 +77,10 @@ fn main() {
     }
 
     println!(
-        "\nmakespan {:.1}, completion {:.1}",
+        "\nmakespan {:.1}, completion {:.1}, full-recorder footprint {:.1} KiB",
         schedule.makespan(),
-        schedule.completion_time()
+        schedule.completion_time(),
+        schedule.memory_bytes() as f64 / 1024.0
     );
 
     // SVG with the recursive square structure (Figure 1c / 2c visuals).

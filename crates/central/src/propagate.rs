@@ -1,5 +1,5 @@
 use crate::{NodeId, WakeTree};
-use freezetag_sim::{RobotId, Sim, WorldView};
+use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
 
 /// Realizes a wake-up tree on the simulator — Algorithm 1 of the paper.
 ///
@@ -17,7 +17,11 @@ use freezetag_sim::{RobotId, Sim, WorldView};
 ///
 /// Panics if the carrier is asleep, not at the root position, or the tree
 /// wakes a robot that is already awake (all algorithm bugs).
-pub fn realize<W: WorldView>(sim: &mut Sim<W>, carrier: RobotId, tree: &WakeTree) -> Vec<RobotId> {
+pub fn realize<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
+    carrier: RobotId,
+    tree: &WakeTree,
+) -> Vec<RobotId> {
     let root_pos = tree.pos(WakeTree::ROOT);
     assert!(
         sim.pos(carrier).dist(root_pos) <= 1e-6,

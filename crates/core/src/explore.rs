@@ -8,7 +8,7 @@
 
 use crate::team::Team;
 use freezetag_geometry::{sweep, Point, Rect};
-use freezetag_sim::{Sighting, Sim, WorldView};
+use freezetag_sim::{Recorder, Sighting, Sim, WorldView};
 use std::collections::BTreeMap;
 
 /// Explores `rect` with the whole team, then gathers everyone at
@@ -22,22 +22,26 @@ use std::collections::BTreeMap;
 /// # Panics
 ///
 /// Panics if any team member is asleep (a bug in the calling algorithm).
-pub(crate) fn explore<W: WorldView>(
-    sim: &mut Sim<W>,
+pub(crate) fn explore<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     team: &Team,
     rect: &Rect,
     endpoint: Point,
 ) -> Vec<Sighting> {
     let strips = rect.horizontal_strips(team.len());
     let mut seen: BTreeMap<freezetag_sim::RobotId, Sighting> = BTreeMap::new();
+    // One sighting buffer for the whole sweep: the look loop below is the
+    // hottest path of every algorithm and must not allocate per snapshot.
+    let mut sightings: Vec<Sighting> = Vec::new();
     for (i, &robot) in team.members().iter().enumerate() {
         // Teams may outnumber strips only when len > strips (never: strips
         // = len); each member sweeps exactly one strip.
         let strip = &strips[i];
         for snap in sweep::snapshot_positions(strip) {
             sim.move_to(robot, snap);
-            for s in sim.look(robot) {
-                seen.insert(s.id, s);
+            sim.look_into(robot, &mut sightings);
+            for s in &sightings {
+                seen.insert(s.id, *s);
             }
         }
         sim.move_to(robot, endpoint);

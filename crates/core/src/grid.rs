@@ -16,7 +16,7 @@ use crate::explore::explore;
 use crate::team::Team;
 use freezetag_central::{quadtree_wake_tree, realize};
 use freezetag_geometry::{sweep, CellCoord, Point, Square, SquareTiling, SQRT_2};
-use freezetag_sim::{RobotId, Sim, WorldView};
+use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
 use std::collections::BTreeMap;
 
 /// Configuration of an `AGrid` run.
@@ -76,7 +76,7 @@ pub(crate) fn round_start(r: f64, k: usize) -> f64 {
 /// a_grid(&mut sim, &AGridConfig { ell: 1.0 });
 /// assert!(sim.world().all_awake());
 /// ```
-pub fn a_grid<W: WorldView>(sim: &mut Sim<W>, cfg: &AGridConfig) {
+pub fn a_grid<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AGridConfig) {
     assert!(cfg.ell > 0.0 && cfg.ell.is_finite(), "ell must be positive");
     let r = 2.0 * cfg.ell;
     let src = sim.world().source_pos();
@@ -157,8 +157,8 @@ pub fn a_grid<W: WorldView>(sim: &mut Sim<W>, cfg: &AGridConfig) {
 /// sleeping robot *owned* by the square (`cell_of(pos) == cell`) with a
 /// centralized wake-up tree from the square's centre. Returns the robots
 /// woken.
-fn explore_and_wake<W: WorldView, C: Fn(Point) -> CellCoord>(
-    sim: &mut Sim<W>,
+fn explore_and_wake<W: WorldView, R: Recorder, C: Fn(Point) -> CellCoord>(
+    sim: &mut Sim<W, R>,
     robot: RobotId,
     square: &Square,
     cell_of: &C,

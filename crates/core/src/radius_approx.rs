@@ -10,7 +10,7 @@ use crate::knowledge::Knowledge;
 use crate::sampling::df_sampling;
 use crate::team::Team;
 use freezetag_geometry::Square;
-use freezetag_sim::{RobotId, Sim, WorldView};
+use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
 
 /// Result of [`estimate_radius`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +47,7 @@ pub struct RadiusEstimate {
 /// let rho_star = inst.params(None).rho_star;
 /// assert!(est.rho_hat >= rho_star / 2.0);
 /// ```
-pub fn estimate_radius<W: WorldView>(sim: &mut Sim<W>, ell: f64) -> RadiusEstimate {
+pub fn estimate_radius<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, ell: f64) -> RadiusEstimate {
     assert!(ell > 0.0 && ell.is_finite(), "ell must be positive");
     let src = sim.world().source_pos();
     let t_start = sim.time(RobotId::SOURCE);

@@ -16,7 +16,7 @@ use crate::explore::explore;
 use crate::knowledge::Knowledge;
 use crate::team::Team;
 use freezetag_geometry::{Point, Square};
-use freezetag_sim::{Sim, WorldView};
+use freezetag_sim::{Recorder, Sim, WorldView};
 
 /// Result of a [`df_sampling`] run.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,8 +40,8 @@ pub(crate) struct SamplingOutcome {
 /// The team ends somewhere inside the region, synchronized; callers
 /// typically move it to a meeting point next.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's DFSampling signature
-pub(crate) fn df_sampling<W: WorldView, F: Fn(Point) -> bool>(
-    sim: &mut Sim<W>,
+pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
+    sim: &mut Sim<W, R>,
     team: &mut Team,
     knowledge: &mut Knowledge,
     region: Square,
@@ -153,8 +153,8 @@ pub(crate) fn df_sampling<W: WorldView, F: Fn(Point) -> bool>(
 /// On arrival at a sampled position: add it to `P'` and wake/recruit any
 /// sleeping robot sitting there — but only robots *owned* by this team's
 /// region (`in_region`), so sibling teams never race on a border robot.
-fn visit<W: WorldView, F: Fn(Point) -> bool>(
-    sim: &mut Sim<W>,
+fn visit<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
+    sim: &mut Sim<W, R>,
     team: &mut Team,
     knowledge: &mut Knowledge,
     sample: &mut Vec<Point>,

@@ -31,7 +31,7 @@ use crate::team::Team;
 use freezetag_central::{realize, WakeStrategy};
 use freezetag_geometry::{Point, Square};
 use freezetag_instances::AdmissibleTuple;
-use freezetag_sim::{RobotId, Sim, WorldView};
+use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
 use std::rc::Rc;
 
 /// Region-ownership predicate threaded through the recursion.
@@ -83,7 +83,7 @@ impl ASeparatorConfig {
 /// a_separator(&mut sim, &ASeparatorConfig::new(inst.admissible_tuple()));
 /// assert!(sim.world().all_awake());
 /// ```
-pub fn a_separator<W: WorldView>(sim: &mut Sim<W>, cfg: &ASeparatorConfig) {
+pub fn a_separator<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &ASeparatorConfig) {
     let src = sim.world().source_pos();
     let square = Square::new(src, 2.0 * cfg.tuple.rho);
     let mut knowledge = Knowledge::new();
@@ -106,8 +106,8 @@ pub fn a_separator<W: WorldView>(sim: &mut Sim<W>, cfg: &ASeparatorConfig) {
 /// (recruitment by `DFSampling` seeded at the team's position); otherwise
 /// it goes straight to partitioning rounds, as `AWave` does for its
 /// per-square wake-ups (Section 8.2).
-pub(crate) fn wake_square_with_team<W: WorldView>(
-    sim: &mut Sim<W>,
+pub(crate) fn wake_square_with_team<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     mut team: Team,
     knowledge: &mut Knowledge,
     square: Square,
@@ -167,8 +167,8 @@ pub(crate) fn owner_quadrant(square: &Square, p: Point) -> usize {
 /// One round of `ASeparator` on `square` (Figure 3, Rounds `k ≥ 1`). The
 /// team must be at the square's centre, synchronized.
 #[allow(clippy::too_many_arguments)]
-fn rounds<W: WorldView>(
-    sim: &mut Sim<W>,
+fn rounds<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     team: Team,
     knowledge: &mut Knowledge,
     square: Square,
@@ -330,8 +330,8 @@ fn quadrant_region(own: &Region, square: Square, qi: usize) -> impl Fn(Point) ->
 /// centralized wake-up tree rooted at the team's position (Lemma 2 +
 /// Algorithm 1).
 #[allow(clippy::too_many_arguments)]
-fn terminating_round<W: WorldView>(
-    sim: &mut Sim<W>,
+fn terminating_round<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     team: &Team,
     knowledge: &mut Knowledge,
     square: Square,

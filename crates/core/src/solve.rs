@@ -1,7 +1,8 @@
 use crate::{a_grid, a_separator, a_wave, AGridConfig, ASeparatorConfig, AWaveConfig};
 use freezetag_instances::{AdmissibleTuple, Instance};
 use freezetag_sim::{
-    validate, ConcreteWorld, Sim, SimError, Trace, ValidationOptions, ValidationReport, WorldView,
+    validate, ConcreteWorld, Recorder, Sim, SimError, Trace, ValidationOptions, ValidationReport,
+    WorldView,
 };
 
 /// The three distributed algorithms of the paper (Table 1).
@@ -73,7 +74,11 @@ impl RunReport {
 /// Dispatches one of the three algorithms on an already-built simulation.
 /// Useful for driving adversarial worlds; [`solve`] is the plain-instance
 /// convenience wrapper.
-pub fn run_algorithm<W: WorldView>(sim: &mut Sim<W>, tuple: &AdmissibleTuple, alg: Algorithm) {
+pub fn run_algorithm<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
+    tuple: &AdmissibleTuple,
+    alg: Algorithm,
+) {
     match alg {
         Algorithm::Separator => a_separator(sim, &ASeparatorConfig::new(*tuple)),
         Algorithm::Grid => a_grid(sim, &AGridConfig { ell: tuple.ell }),

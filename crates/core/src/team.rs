@@ -1,4 +1,4 @@
-use freezetag_sim::{RobotId, Sim, WorldView};
+use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
 
 /// A team: an ordered set of awake robots that move together, stay
 /// co-located and time-synchronized between operations.
@@ -45,13 +45,13 @@ impl Team {
     }
 
     /// Current common position (the leader's).
-    pub fn pos<W: WorldView>(&self, sim: &Sim<W>) -> freezetag_geometry::Point {
+    pub fn pos<W: WorldView, R: Recorder>(&self, sim: &Sim<W, R>) -> freezetag_geometry::Point {
         sim.pos(self.lead())
     }
 
     /// Current common time (max over members; equals each member's time
     /// when the sync invariant holds).
-    pub fn time<W: WorldView>(&self, sim: &Sim<W>) -> f64 {
+    pub fn time<W: WorldView, R: Recorder>(&self, sim: &Sim<W, R>) -> f64 {
         self.members
             .iter()
             .map(|&r| sim.time(r))
@@ -60,7 +60,11 @@ impl Team {
 
     /// Moves every member to `dest` and synchronizes; returns the common
     /// arrival time.
-    pub fn move_all<W: WorldView>(&self, sim: &mut Sim<W>, dest: freezetag_geometry::Point) -> f64 {
+    pub fn move_all<W: WorldView, R: Recorder>(
+        &self,
+        sim: &mut Sim<W, R>,
+        dest: freezetag_geometry::Point,
+    ) -> f64 {
         for &r in &self.members {
             sim.move_to(r, dest);
         }
@@ -69,7 +73,7 @@ impl Team {
 
     /// Synchronizes members at their common latest time (they must already
     /// be co-located).
-    pub fn sync<W: WorldView>(&self, sim: &mut Sim<W>) -> f64 {
+    pub fn sync<W: WorldView, R: Recorder>(&self, sim: &mut Sim<W, R>) -> f64 {
         sim.barrier(&self.members)
     }
 

@@ -12,7 +12,7 @@
 use crate::explore::explore;
 use crate::team::Team;
 use freezetag_geometry::Square;
-use freezetag_sim::{Sighting, Sim, WorldView};
+use freezetag_sim::{Recorder, Sighting, Sim, WorldView};
 
 /// Outcome of a search.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,8 +49,8 @@ pub struct SearchOutcome {
 /// let out = spiral_search(&mut sim, RobotId::SOURCE, 64.0);
 /// assert_eq!(out.found.len(), 1);
 /// ```
-pub fn spiral_search<W: WorldView>(
-    sim: &mut Sim<W>,
+pub fn spiral_search<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     robot: freezetag_sim::RobotId,
     max_width: f64,
 ) -> SearchOutcome {
@@ -106,8 +106,8 @@ pub fn spiral_search<W: WorldView>(
 /// # Panics
 ///
 /// Panics if any team robot is asleep or `max_width <= 0`.
-pub fn team_search<W: WorldView>(
-    sim: &mut Sim<W>,
+pub fn team_search<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     team_members: &[freezetag_sim::RobotId],
     max_width: f64,
 ) -> SearchOutcome {

@@ -14,7 +14,7 @@ use crate::knowledge::Knowledge;
 use crate::separator::{wake_square_with_team, Region, SeparatorParams};
 use crate::team::Team;
 use freezetag_geometry::{CellCoord, Point, Square, SquareTiling};
-use freezetag_sim::{RobotId, Sim, WorldView};
+use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -63,7 +63,7 @@ pub(crate) fn wave_slot(r: f64, ell: f64) -> f64 {
 /// a_wave(&mut sim, &AWaveConfig { ell: 1.0 });
 /// assert!(sim.world().all_awake());
 /// ```
-pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
+pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig) {
     assert!(cfg.ell > 0.0 && cfg.ell.is_finite(), "ell must be positive");
     let ell = effective_ell(cfg.ell);
     let r = wave_width(cfg.ell);
@@ -98,8 +98,8 @@ pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
         0,
     );
     let t0_bound = separator_bound(r, ell);
-    let wakes_so_far = sim.schedule().wakes().len();
-    let mut frontier: Vec<RobotId> = sim.schedule().wakes().iter().map(|w| w.target).collect();
+    let wakes_so_far = sim.wakes().len();
+    let mut frontier: Vec<RobotId> = sim.wakes().iter().map(|w| w.target).collect();
     frontier.push(RobotId::SOURCE);
     let t_round0_end = sim.time(RobotId::SOURCE);
     sim.trace_mut().record(
@@ -116,7 +116,7 @@ pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
     let slot = wave_slot(r, ell);
     let mut round_start = t0_bound + 4.5 * r;
     let mut round = 1usize;
-    let mut prev_wake_len = sim.schedule().wakes().len();
+    let mut prev_wake_len = sim.wakes().len();
     while !frontier.is_empty() {
         // Teams form at the lower-left corner of each populated square.
         let mut groups: BTreeMap<CellCoord, Vec<RobotId>> = BTreeMap::new();
@@ -168,7 +168,7 @@ pub fn a_wave<W: WorldView>(sim: &mut Sim<W>, cfg: &AWaveConfig) {
                 );
             }
         }
-        let all_wakes = sim.schedule().wakes();
+        let all_wakes = sim.wakes();
         frontier = all_wakes[prev_wake_len..]
             .iter()
             .map(|w| w.target)

@@ -76,6 +76,8 @@ pub struct Aggregate {
     pub total_energy: Stats,
     /// Look-count statistics.
     pub looks: Stats,
+    /// Recorder peak-memory statistics (bytes; deterministic estimates).
+    pub peak_mem_bytes: Stats,
     /// Whether every aggregated run ended with all robots awake.
     pub all_awake: bool,
     /// Summed wall-clock seconds of the cell's jobs (non-deterministic;
@@ -113,6 +115,7 @@ pub fn aggregate(results: &[JobResult]) -> Vec<Aggregate> {
                 max_energy: field(|r| r.max_energy),
                 total_energy: field(|r| r.total_energy),
                 looks: field(|r| r.looks as f64),
+                peak_mem_bytes: field(|r| r.peak_mem_bytes),
                 all_awake: members.iter().all(|r| r.all_awake),
                 wall_time_s: members.iter().map(|r| r.wall_time_s).sum(),
             }
@@ -142,6 +145,7 @@ mod tests {
             total_energy: makespan * 2.0,
             looks: 10,
             all_awake: true,
+            peak_mem_bytes: 1024.0,
             wall_time_s: 0.5,
         }
     }

@@ -56,7 +56,7 @@ fn job_json(r: &JobResult, include_wall_time: bool) -> String {
         "{{\"job\":{},\"scenario\":\"{}\",\"generator\":\"{}\",\"algorithm\":\"{}\",\
          \"seed\":{},\"seed_index\":{},\"n\":{},\"ell\":{},\"rho\":{},\"xi_ell\":{},\
          \"makespan\":{},\"completion_time\":{},\"max_energy\":{},\"total_energy\":{},\
-         \"looks\":{},\"all_awake\":{}",
+         \"looks\":{},\"all_awake\":{},\"peak_mem_bytes\":{}",
         r.job,
         escape(&r.scenario),
         escape(&r.generator),
@@ -72,7 +72,8 @@ fn job_json(r: &JobResult, include_wall_time: bool) -> String {
         num(r.max_energy),
         num(r.total_energy),
         r.looks,
-        r.all_awake
+        r.all_awake,
+        num(r.peak_mem_bytes)
     );
     if include_wall_time {
         let _ = write!(out, ",\"wall_time_s\":{}", num(r.wall_time_s));
@@ -96,7 +97,8 @@ pub fn jobs_to_jsonl(results: &[JobResult]) -> String {
 pub fn jobs_to_csv(results: &[JobResult]) -> String {
     let mut out = String::from(
         "job,scenario,generator,algorithm,seed,seed_index,n,ell,rho,xi_ell,\
-         makespan,completion_time,max_energy,total_energy,looks,all_awake,wall_time_s\n",
+         makespan,completion_time,max_energy,total_energy,looks,all_awake,\
+         peak_mem_bytes,wall_time_s\n",
     );
     let csv_field = |s: &str| -> String {
         if s.contains(',') || s.contains('"') {
@@ -116,7 +118,7 @@ pub fn jobs_to_csv(results: &[JobResult]) -> String {
     for r in results {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.job,
             csv_field(&r.scenario),
             csv_field(&r.generator),
@@ -133,6 +135,7 @@ pub fn jobs_to_csv(results: &[JobResult]) -> String {
             csv_num(r.total_energy),
             r.looks,
             r.all_awake,
+            csv_num(r.peak_mem_bytes),
             r.wall_time_s,
         );
     }
@@ -143,7 +146,7 @@ fn aggregate_json(a: &Aggregate, include_wall_time: bool) -> String {
     let mut out = format!(
         "    {{\"scenario\":\"{}\",\"generator\":\"{}\",\"algorithm\":\"{}\",\
          \"n\":{},\"seeds\":{},\"all_awake\":{},\"makespan\":{},\"max_energy\":{},\
-         \"total_energy\":{},\"looks\":{}",
+         \"total_energy\":{},\"looks\":{},\"peak_mem_bytes\":{}",
         escape(&a.scenario),
         escape(&a.generator),
         escape(&a.algorithm),
@@ -153,7 +156,8 @@ fn aggregate_json(a: &Aggregate, include_wall_time: bool) -> String {
         stats_json(&a.makespan),
         stats_json(&a.max_energy),
         stats_json(&a.total_energy),
-        stats_json(&a.looks)
+        stats_json(&a.looks),
+        stats_json(&a.peak_mem_bytes)
     );
     if include_wall_time {
         let _ = write!(out, ",\"wall_time_s\":{}", num(a.wall_time_s));
@@ -208,34 +212,45 @@ pub fn aggregates_to_markdown(aggregates: &[Aggregate]) -> String {
 pub fn aggregates_to_json(plan: &ExperimentPlan, aggregates: &[Aggregate]) -> String {
     format!(
         "{{\n  \"plan\": \"{}\",\n  \"plan_seed\": {},\n  \"seeds_per_cell\": {},\n  \
-         \"jobs\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
+         \"profile\": \"{}\",\n  \"jobs\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
         escape(&plan.name),
         plan.plan_seed,
         plan.seeds,
+        plan.profile,
         plan.job_count(),
         groups_json(aggregates, false)
     )
 }
 
 /// The `BENCH_results.json` perf-trajectory document: the deterministic
-/// aggregates plus wall-clock timing (per group and total) and the
-/// execution context, so successive commits can be compared.
+/// aggregates plus wall-clock timing (per group and total), throughput
+/// (jobs per second) and the execution context, so successive commits can
+/// be compared.
 pub fn bench_results_json(
     plan: &ExperimentPlan,
     aggregates: &[Aggregate],
     threads: usize,
     total_wall_time_s: f64,
 ) -> String {
+    let jobs = plan.job_count();
+    let jobs_per_s = if total_wall_time_s > 0.0 {
+        jobs as f64 / total_wall_time_s
+    } else {
+        f64::NAN
+    };
     format!(
-        "{{\n  \"schema\": \"freezetag-bench-results/v1\",\n  \"plan\": \"{}\",\n  \
-         \"plan_seed\": {},\n  \"seeds_per_cell\": {},\n  \"jobs\": {},\n  \
-         \"threads\": {},\n  \"total_wall_time_s\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"freezetag-bench-results/v2\",\n  \"plan\": \"{}\",\n  \
+         \"plan_seed\": {},\n  \"seeds_per_cell\": {},\n  \"profile\": \"{}\",\n  \
+         \"jobs\": {},\n  \"threads\": {},\n  \"total_wall_time_s\": {},\n  \
+         \"jobs_per_s\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
         escape(&plan.name),
         plan.plan_seed,
         plan.seeds,
-        plan.job_count(),
+        plan.profile,
+        jobs,
         threads,
         num(total_wall_time_s),
+        num(jobs_per_s),
         groups_json(aggregates, true)
     )
 }
@@ -268,6 +283,7 @@ mod tests {
             total_energy: 8.0,
             looks: 12,
             all_awake: true,
+            peak_mem_bytes: 4096.0,
             wall_time_s: 0.25,
         };
         (plan, vec![job(0, 10.0), job(1, 20.0)])
@@ -313,13 +329,29 @@ mod tests {
     }
 
     #[test]
-    fn bench_results_json_carries_timing_and_schema() {
+    fn bench_results_json_carries_timing_schema_and_throughput() {
         let (plan, results) = sample();
         let aggs = crate::agg::aggregate(&results);
         let text = bench_results_json(&plan, &aggs, 4, 0.5);
-        assert!(text.contains("freezetag-bench-results/v1"));
+        assert!(text.contains("freezetag-bench-results/v2"));
         assert!(text.contains("\"threads\": 4"));
         assert!(text.contains("\"wall_time_s\":0.5"));
+        assert!(text.contains("\"jobs_per_s\": 4"), "{text}");
+        assert!(text.contains("\"profile\": \"full\""), "{text}");
+    }
+
+    #[test]
+    fn peak_memory_flows_into_every_emitter() {
+        let (plan, results) = sample();
+        let aggs = crate::agg::aggregate(&results);
+        assert!(jobs_to_jsonl(&results).contains("\"peak_mem_bytes\":4096"));
+        assert!(jobs_to_csv(&results)
+            .lines()
+            .next()
+            .unwrap()
+            .contains("peak_mem_bytes"));
+        let json = aggregates_to_json(&plan, &aggs);
+        assert!(json.contains("\"peak_mem_bytes\":{\"mean\":4096"), "{json}");
     }
 
     #[test]

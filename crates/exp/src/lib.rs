@@ -53,5 +53,5 @@ pub mod runner;
 
 pub use agg::{aggregate, Aggregate, Stats};
 pub use error::ExpError;
-pub use plan::{derive_seed, AlgSpec, ExperimentPlan, JobSpec, ScenarioSpec};
-pub use runner::{run_plan, run_single, JobResult, SingleRun};
+pub use plan::{derive_seed, AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
+pub use runner::{run_plan, run_single, run_single_stats, JobResult, SingleRun, StatsRun};

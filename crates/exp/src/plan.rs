@@ -174,6 +174,49 @@ impl fmt::Display for AlgSpec {
     }
 }
 
+/// Which recorder a plan's simulated jobs run with.
+///
+/// `Full` keeps complete per-robot segment timelines and validates every
+/// schedule independently — the default, and required for SVG export and
+/// the adversarial theorem checks. `Stats` records constant memory per
+/// robot (wake time, travel, current state) and skips validation, which is
+/// what makes 10⁵–10⁶-robot sweeps tractable; its aggregates are
+/// bit-identical to the full recorder's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// Full schedules + independent validation (+ ξ_ℓ measurement).
+    #[default]
+    Full,
+    /// Constant-memory aggregates, no validation, no ξ_ℓ.
+    Stats,
+}
+
+impl Profile {
+    /// Parses the CLI syntax: `full` or `stats`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpError::InvalidPlan`] on unknown names.
+    pub fn parse(text: &str) -> Result<Self, ExpError> {
+        match text.trim() {
+            "full" => Ok(Profile::Full),
+            "stats" => Ok(Profile::Stats),
+            other => Err(ExpError::InvalidPlan(format!(
+                "unknown profile '{other}' (full|stats)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Profile::Full => write!(f, "full"),
+            Profile::Stats => write!(f, "stats"),
+        }
+    }
+}
+
 /// One fully resolved job of a plan's cross-product.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobSpec {
@@ -206,6 +249,8 @@ pub struct ExperimentPlan {
     pub seeds: usize,
     /// Master seed; per-job seeds are [`derive_seed`]`(plan_seed, index)`.
     pub plan_seed: u64,
+    /// Recorder profile for the simulated jobs.
+    pub profile: Profile,
 }
 
 impl ExperimentPlan {
@@ -217,6 +262,7 @@ impl ExperimentPlan {
             algorithms: Vec::new(),
             seeds: 1,
             plan_seed: 1,
+            profile: Profile::Full,
         }
     }
 
@@ -245,6 +291,13 @@ impl ExperimentPlan {
     #[must_use]
     pub fn plan_seed(mut self, plan_seed: u64) -> Self {
         self.plan_seed = plan_seed;
+        self
+    }
+
+    /// Sets the recorder profile (builder style).
+    #[must_use]
+    pub fn profile(mut self, profile: Profile) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -306,6 +359,15 @@ impl ExperimentPlan {
                         "scenario '{}' is adversarial but {} needs known positions",
                         spec.name,
                         alg.label()
+                    )));
+                }
+                if self.profile == Profile::Stats {
+                    // The adversarial theorem checks replay full schedules
+                    // against the pinned positions; without segments there
+                    // is nothing to replay.
+                    return Err(ExpError::InvalidPlan(format!(
+                        "scenario '{}' is adversarial and requires the full profile",
+                        spec.name
                     )));
                 }
             }

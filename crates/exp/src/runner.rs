@@ -1,7 +1,7 @@
 //! Plan execution: a `std::thread` worker pool over the job
 //! cross-product, with results reported in deterministic job order.
 
-use crate::plan::{AlgSpec, ExperimentPlan, JobSpec, ScenarioSpec};
+use crate::plan::{AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
 use crate::ExpError;
 use freezetag_central::{optimal_makespan, WakeStrategy};
 use freezetag_core::{
@@ -11,7 +11,8 @@ use freezetag_geometry::Point;
 use freezetag_instances::registry::{self, Built};
 use freezetag_instances::{AdmissibleTuple, Instance};
 use freezetag_sim::{
-    validate, AdversarialWorld, ConcreteWorld, RobotId, Schedule, Sim, ValidationOptions, WorldView,
+    validate, AdversarialWorld, ConcreteWorld, Recorder, RobotId, Schedule, Sim, ValidationOptions,
+    WorldView,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -57,6 +58,11 @@ pub struct JobResult {
     pub looks: usize,
     /// Whether every robot ended awake.
     pub all_awake: bool,
+    /// Recorder high-water heap footprint in bytes — a deterministic
+    /// estimate counting recorded lengths, not allocator capacity, so it is
+    /// identical for any thread count. `NaN` for the centralized baselines
+    /// (no simulation recorder; emitted as JSON `null`/empty CSV).
+    pub peak_mem_bytes: f64,
     /// Wall-clock seconds this job took (non-deterministic).
     pub wall_time_s: f64,
 }
@@ -86,8 +92,34 @@ pub struct SingleRun {
     pub schedule: Schedule,
 }
 
-fn dispatch<W: WorldView>(
-    sim: &mut Sim<W>,
+/// The input tuple a simulated job hands to its algorithm: the scale
+/// families declare `ℓ` (skipping the `O(n²)` exact-threshold pass, which
+/// 10⁶-robot instances cannot afford) with `ρ` from an `O(n)` radius scan;
+/// every other scenario computes its exact canonical tuple.
+///
+/// # Errors
+///
+/// [`ExpError::InvalidPlan`] when a declared `ℓ` rounds to an inadmissible
+/// tuple for the built instance (e.g. a shrunken scale family whose radius
+/// exceeds `nℓ`) — a clean sweep error instead of a worker panic.
+fn tuple_for(spec: &ScenarioSpec, inst: &Instance) -> Result<AdmissibleTuple, ExpError> {
+    match registry::preset_ell(&spec.generator, &spec.params) {
+        Some(ell) => {
+            let src = inst.source();
+            let rho_star = inst
+                .positions()
+                .iter()
+                .map(|p| p.dist(src))
+                .fold(0.0, f64::max);
+            AdmissibleTuple::rounded(ell, rho_star, inst.n())
+                .map_err(|e| ExpError::InvalidPlan(format!("scenario '{}': {e}", spec.name)))
+        }
+        None => Ok(inst.admissible_tuple()),
+    }
+}
+
+fn dispatch<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
     tuple: &AdmissibleTuple,
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
@@ -113,11 +145,12 @@ fn dispatch<W: WorldView>(
 
 fn single_concrete(
     scenario: &str,
+    spec: &ScenarioSpec,
     inst: Instance,
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
 ) -> Result<SingleRun, ExpError> {
-    let tuple = inst.admissible_tuple();
+    let tuple = tuple_for(spec, &inst)?;
     let mut sim = Sim::new(ConcreteWorld::new(&inst));
     dispatch(&mut sim, &tuple, algorithm, strategy)?;
     let looks = sim.world().look_count();
@@ -145,8 +178,11 @@ fn single_concrete(
         looks,
         trace,
     };
-    // admissible_tuple() already paid for the radius/threshold pass; only
-    // the eccentricity at the rounded ℓ needs evaluating on top of it.
+    // ξ_ℓ is evaluated at the rounded ℓ of the tuple — whichever branch of
+    // tuple_for produced it. For ordinary scenarios the radius/threshold
+    // pass is already paid inside admissible_tuple(); for the preset-ℓ
+    // scale families this Dijkstra is the first (and only) graph pass of
+    // the run.
     let xi_ell = freezetag_graph::eccentricity(&inst.all_points(), 0, tuple.ell);
     Ok(SingleRun {
         source: inst.source(),
@@ -246,9 +282,83 @@ pub fn run_single(spec: &ScenarioSpec, alg: AlgSpec, seed: u64) -> Result<Single
         )));
     };
     match registry::build(&spec.generator, &spec.params, seed)? {
-        Built::Concrete(inst) => single_concrete(&spec.name, inst, algorithm, strategy),
+        Built::Concrete(inst) => single_concrete(&spec.name, spec, inst, algorithm, strategy),
         Built::Adversarial(layout) => single_adversarial(&spec.name, layout, algorithm, strategy),
     }
+}
+
+/// The aggregate-only measurements of one constant-memory run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsRun {
+    /// Number of sleeping robots.
+    pub n: usize,
+    /// Connectivity parameter ℓ handed to the algorithm.
+    pub ell: f64,
+    /// Radius bound ρ handed to the algorithm.
+    pub rho: f64,
+    /// Time the last robot was woken.
+    pub makespan: f64,
+    /// Time the last robot stopped moving.
+    pub completion_time: f64,
+    /// Worst per-robot travel.
+    pub max_energy: f64,
+    /// Total travel of the swarm.
+    pub total_energy: f64,
+    /// `look` snapshots taken.
+    pub looks: usize,
+    /// Whether every robot ended awake.
+    pub all_awake: bool,
+    /// Recorder heap footprint (deterministic estimate, bytes).
+    pub peak_mem_bytes: usize,
+}
+
+/// Runs one scenario × algorithm × seed combination under the constant-
+/// memory [`freezetag_sim::StatsRecorder`]: no schedule is kept, no
+/// validation runs, no ξ_ℓ is measured — only the aggregate numbers, which
+/// match a full-profile run bit-for-bit. This is the execution path behind
+/// `--profile stats` and the only tractable one at 10⁵–10⁶ robots.
+///
+/// # Errors
+///
+/// Registry errors, or [`ExpError::Unsupported`] for non-distributed
+/// algorithms and adversarial scenarios (those require full schedules).
+pub fn run_single_stats(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+) -> Result<StatsRun, ExpError> {
+    let AlgSpec::Distributed {
+        algorithm,
+        strategy,
+    } = alg
+    else {
+        return Err(ExpError::Unsupported(format!(
+            "run_single_stats needs a distributed algorithm, got {}",
+            alg.label()
+        )));
+    };
+    let inst = registry::build_instance(&spec.generator, &spec.params, seed)
+        .map_err(|e| ExpError::Registry(format!("scenario '{}': {e}", spec.name)))?;
+    let tuple = tuple_for(spec, &inst)?;
+    let world = ConcreteWorld::new(&inst);
+    drop(inst); // the world owns its own flat copy; free the Vec<Point>
+    let mut sim = Sim::with_stats(world);
+    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let looks = sim.world().look_count();
+    let all_awake = sim.world().all_awake();
+    let (_, rec, _) = sim.into_recorder_parts();
+    Ok(StatsRun {
+        n: tuple.n,
+        ell: tuple.ell,
+        rho: tuple.rho,
+        makespan: rec.makespan(),
+        completion_time: rec.completion_time(),
+        max_energy: rec.max_energy(),
+        total_energy: rec.total_energy(),
+        looks,
+        all_awake,
+        peak_mem_bytes: rec.memory_bytes(),
+    })
 }
 
 fn central_job(
@@ -292,6 +402,29 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
         .unwrap_or_else(|| spec.generator.clone());
     let started = Instant::now();
     let result = match job.algorithm {
+        AlgSpec::Distributed { .. } if plan.profile == Profile::Stats => {
+            let run = run_single_stats(spec, job.algorithm, job.seed)?;
+            JobResult {
+                job: job.index,
+                scenario: spec.name.clone(),
+                generator,
+                algorithm: job.algorithm.label(),
+                seed: job.seed,
+                seed_index: job.seed_index,
+                n: run.n,
+                ell: run.ell,
+                rho: run.rho,
+                xi_ell: None,
+                makespan: run.makespan,
+                completion_time: run.completion_time,
+                max_energy: run.max_energy,
+                total_energy: run.total_energy,
+                looks: run.looks,
+                all_awake: run.all_awake,
+                peak_mem_bytes: run.peak_mem_bytes as f64,
+                wall_time_s: 0.0,
+            }
+        }
         AlgSpec::Distributed { .. } => {
             let run = run_single(spec, job.algorithm, job.seed)?;
             JobResult {
@@ -311,6 +444,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
                 total_energy: run.report.total_energy,
                 looks: run.report.looks,
                 all_awake: run.report.all_awake,
+                peak_mem_bytes: run.schedule.memory_bytes() as f64,
                 wall_time_s: 0.0,
             }
         }
@@ -336,6 +470,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
                 total_energy,
                 looks: 0,
                 all_awake: true,
+                peak_mem_bytes: f64::NAN,
                 wall_time_s: 0.0,
             }
         }

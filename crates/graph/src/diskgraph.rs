@@ -19,7 +19,7 @@ use freezetag_geometry::Point;
 ///     vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(3.0, 0.0)],
 ///     1.5,
 /// );
-/// assert_eq!(g.neighbors(0), vec![(1, 1.0)]);
+/// assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(1, 1.0)]);
 /// assert!(!g.is_connected());
 /// ```
 #[derive(Debug, Clone)]
@@ -42,9 +42,9 @@ impl DiskGraph {
         }
     }
 
-    /// The vertex positions.
-    pub fn points(&self) -> &[Point] {
-        self.index.points()
+    /// Position of vertex `v`.
+    pub fn point(&self, v: usize) -> Point {
+        self.index.point(v)
     }
 
     /// Number of vertices.
@@ -63,14 +63,24 @@ impl DiskGraph {
     }
 
     /// Neighbours of vertex `v` with their edge weights, ascending by
-    /// vertex index. `v` itself is excluded.
-    pub fn neighbors(&self, v: usize) -> Vec<(usize, f64)> {
-        let p = self.points()[v];
+    /// vertex index. `v` itself is excluded. The iterator borrows the
+    /// underlying [`GridIndex`] — no per-query adjacency `Vec` is built,
+    /// which keeps Dijkstra/BFS passes over 10⁶-vertex graphs allocation-
+    /// light.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let p = self.point(v);
         self.index
             .within(p, self.delta)
-            .filter(|&u| u != v)
-            .map(|u| (u, self.points()[u].dist(p)))
-            .collect()
+            .filter(move |&u| u != v)
+            .map(move |u| (u, self.point(u).dist(p)))
+    }
+
+    /// Neighbour indices of `v` written into a reusable buffer (cleared
+    /// first), ascending; `v` itself excluded. The allocation-free variant
+    /// of [`DiskGraph::neighbors`] for hot loops that scan many vertices.
+    pub fn neighbors_into(&self, v: usize, out: &mut Vec<usize>) {
+        self.index.within_into(self.point(v), self.delta, out);
+        out.retain(|&u| u != v);
     }
 
     /// Whether the whole graph is connected (vacuously true when empty or a
@@ -83,8 +93,10 @@ impl DiskGraph {
     pub fn component_count(&self) -> usize {
         let n = self.len();
         let mut uf = UnionFind::new(n);
+        let mut adj: Vec<usize> = Vec::new();
         for v in 0..n {
-            for (u, _) in self.neighbors(v) {
+            self.neighbors_into(v, &mut adj);
+            for &u in &adj {
                 uf.union(u, v);
             }
         }
@@ -101,6 +113,10 @@ impl DiskGraph {
 mod tests {
     use super::*;
 
+    fn nbrs(g: &DiskGraph, v: usize) -> Vec<(usize, f64)> {
+        g.neighbors(v).collect()
+    }
+
     #[test]
     fn neighbors_respect_delta() {
         let g = DiskGraph::new(
@@ -112,9 +128,28 @@ mod tests {
             ],
             1.0,
         );
-        assert_eq!(g.neighbors(0), vec![(1, 1.0)]);
-        assert_eq!(g.neighbors(1).len(), 2);
-        assert!(g.neighbors(3).is_empty());
+        assert_eq!(nbrs(&g, 0), vec![(1, 1.0)]);
+        assert_eq!(nbrs(&g, 1).len(), 2);
+        assert!(nbrs(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn neighbors_into_matches_iterator() {
+        let g = DiskGraph::new(
+            vec![
+                Point::ORIGIN,
+                Point::new(0.5, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(5.0, 5.0),
+            ],
+            1.0,
+        );
+        let mut buf = vec![7usize; 3];
+        for v in 0..g.len() {
+            g.neighbors_into(v, &mut buf);
+            let via_iter: Vec<usize> = g.neighbors(v).map(|(u, _)| u).collect();
+            assert_eq!(buf, via_iter, "vertex {v}");
+        }
     }
 
     #[test]
@@ -141,6 +176,6 @@ mod tests {
     #[test]
     fn delta_is_inclusive() {
         let g = DiskGraph::new(vec![Point::ORIGIN, Point::new(2.0, 0.0)], 2.0);
-        assert_eq!(g.neighbors(0).len(), 1);
+        assert_eq!(nbrs(&g, 0).len(), 1);
     }
 }

@@ -9,6 +9,11 @@ use std::collections::HashMap;
 /// queries near-linear instead of quadratic, which matters for the
 /// instance-parameter computations on large swarms.
 ///
+/// Storage is flat (struct-of-arrays): coordinates live in two `Vec<f64>`
+/// and the buckets are a CSR layout (`starts` offsets into one `order`
+/// array), so building the index for 10⁶ points performs a handful of
+/// large allocations instead of one small `Vec` per occupied cell.
+///
 /// # Example
 ///
 /// ```
@@ -22,9 +27,15 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex {
-    points: Vec<Point>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
     cell: f64,
-    buckets: HashMap<(i64, i64), Vec<usize>>,
+    /// Cell key → dense cell id (index into `starts`).
+    cells: HashMap<(i64, i64), u32>,
+    /// CSR offsets: cell id `c` owns `order[starts[c]..starts[c + 1]]`.
+    starts: Vec<u32>,
+    /// Point indices grouped by cell, ascending within each cell.
+    order: Vec<u32>,
 }
 
 impl GridIndex {
@@ -38,17 +49,48 @@ impl GridIndex {
             cell_width > 0.0 && cell_width.is_finite(),
             "invalid cell width"
         );
-        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-        for (i, p) in points.iter().enumerate() {
-            buckets
-                .entry(Self::key(*p, cell_width))
-                .or_default()
-                .push(i);
+        let n = points.len();
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for p in points {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        // Pass 1: count points per distinct cell.
+        let mut cells: HashMap<(i64, i64), u32> = HashMap::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut keys: Vec<u32> = Vec::with_capacity(n);
+        for p in points {
+            let next = counts.len() as u32;
+            let id = *cells.entry(Self::key(*p, cell_width)).or_insert(next);
+            if id == next {
+                counts.push(0);
+            }
+            counts[id as usize] += 1;
+            keys.push(id);
+        }
+        // Pass 2: prefix sums, then scatter point indices. Scattering in
+        // input order keeps each cell's slice ascending by point index.
+        let mut starts = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        starts.push(0);
+        for &c in &counts {
+            acc += c;
+            starts.push(acc);
+        }
+        let mut cursor: Vec<u32> = starts[..counts.len()].to_vec();
+        let mut order = vec![0u32; n];
+        for (i, &cid) in keys.iter().enumerate() {
+            order[cursor[cid as usize] as usize] = i as u32;
+            cursor[cid as usize] += 1;
         }
         GridIndex {
-            points: points.to_vec(),
+            xs,
+            ys,
             cell: cell_width,
-            buckets,
+            cells,
+            starts,
+            order,
         }
     }
 
@@ -56,24 +98,40 @@ impl GridIndex {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
 
-    /// The indexed points, in input order.
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    /// Coordinates of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.xs.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.xs.is_empty()
+    }
+
+    /// Approximate heap footprint of the index in bytes (flat arrays plus
+    /// the cell directory), for the experiment engine's memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.xs.len() * 16
+            + self.order.len() * 4
+            + self.starts.len() * 4
+            + self.cells.len() * (16 + 4)
     }
 
     /// Indices of all points within Euclidean distance `r` of `q`
-    /// (inclusive, with `EPS` slack), in ascending index order.
-    pub fn within(&self, q: Point, r: f64) -> impl Iterator<Item = usize> + '_ {
+    /// (inclusive, with `EPS` slack), appended to `out` in ascending index
+    /// order. `out` is cleared first; reusing one buffer across queries
+    /// makes the hot `look` path allocation-free after warm-up.
+    pub fn within_into(&self, q: Point, r: f64, out: &mut Vec<usize>) {
+        out.clear();
         let r = r.max(0.0);
         // Inflate the scanned cell range by the acceptance slack: a point
         // at distance r + 1e-15 must still be found (the distance test
@@ -82,19 +140,33 @@ impl GridIndex {
         let rr = r + 2.0 * freezetag_geometry::EPS;
         let lo = Self::key(q - Point::new(rr, rr), self.cell);
         let hi = Self::key(q + Point::new(rr, rr), self.cell);
-        let mut out: Vec<usize> = Vec::new();
+        let accept = r + freezetag_geometry::EPS;
         for i in lo.0..=hi.0 {
             for j in lo.1..=hi.1 {
-                if let Some(bucket) = self.buckets.get(&(i, j)) {
-                    for &idx in bucket {
-                        if self.points[idx].dist(q) <= r + freezetag_geometry::EPS {
-                            out.push(idx);
-                        }
+                let Some(&cid) = self.cells.get(&(i, j)) else {
+                    continue;
+                };
+                let (a, b) = (
+                    self.starts[cid as usize] as usize,
+                    self.starts[cid as usize + 1] as usize,
+                );
+                for &idx in &self.order[a..b] {
+                    let idx = idx as usize;
+                    if self.point(idx).dist(q) <= accept {
+                        out.push(idx);
                     }
                 }
             }
         }
         out.sort_unstable();
+    }
+
+    /// Indices of all points within Euclidean distance `r` of `q`, in
+    /// ascending index order. Allocates a fresh buffer per call; hot loops
+    /// should prefer [`GridIndex::within_into`].
+    pub fn within(&self, q: Point, r: f64) -> impl Iterator<Item = usize> + '_ {
+        let mut out = Vec::new();
+        self.within_into(q, r, &mut out);
         out.into_iter()
     }
 
@@ -102,10 +174,10 @@ impl GridIndex {
     /// empty. Falls back to a full scan; the index accelerates only
     /// bounded-radius queries.
     pub fn nearest(&self, q: Point) -> Option<usize> {
-        (0..self.points.len()).min_by(|&a, &b| {
-            self.points[a]
+        (0..self.len()).min_by(|&a, &b| {
+            self.point(a)
                 .dist_sq(q)
-                .partial_cmp(&self.points[b].dist_sq(q))
+                .partial_cmp(&self.point(b).dist_sq(q))
                 .expect("finite coordinates")
         })
     }
@@ -145,6 +217,16 @@ mod tests {
     }
 
     #[test]
+    fn within_into_reuses_the_buffer() {
+        let idx = GridIndex::build(&pts(), 1.0);
+        let mut buf = vec![99usize; 8];
+        idx.within_into(Point::ORIGIN, 1.0, &mut buf);
+        assert_eq!(buf, vec![0, 1, 4]);
+        idx.within_into(Point::new(-3.0, 4.0), 0.5, &mut buf);
+        assert_eq!(buf, vec![3], "buffer must be cleared between queries");
+    }
+
+    #[test]
     fn nearest_point() {
         let points = pts();
         let idx = GridIndex::build(&points, 1.0);
@@ -154,9 +236,12 @@ mod tests {
     }
 
     #[test]
-    fn len_and_empty() {
+    fn len_empty_and_point_access() {
         assert!(GridIndex::build(&[], 2.0).is_empty());
-        assert_eq!(GridIndex::build(&pts(), 2.0).len(), 5);
+        let idx = GridIndex::build(&pts(), 2.0);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.point(3), Point::new(-3.0, 4.0));
+        assert!(idx.memory_bytes() > 0);
     }
 
     #[test]

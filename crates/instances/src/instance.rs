@@ -42,6 +42,33 @@ impl AdmissibleTuple {
     pub fn team_target(&self) -> usize {
         ((4.0 * self.ell).ceil() as usize).max(4)
     }
+
+    /// The canonical rounding from measured (or declared) bounds to an
+    /// integer tuple, shared by [`Instance::admissible_tuple`] and the
+    /// experiment engine's preset-ℓ path: epsilon-ceil both values (arc-
+    /// length sampling can put a bound at `k + 1e-15`, and a plain ceil
+    /// would silently double it), clamp `ℓ ≥ 1` and `ρ ≥ ℓ`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the rounded tuple violates `ρ ≤ nℓ` — reachable
+    /// when a *declared* `ℓ` is combined with too few robots for the
+    /// instance radius (measured bounds satisfy it by Proposition 1).
+    pub fn rounded(ell_bound: f64, rho_bound: f64, n: usize) -> Result<Self, String> {
+        assert!(
+            ell_bound.is_finite() && rho_bound.is_finite(),
+            "tuple bounds must be finite"
+        );
+        let ell = (ell_bound - 1e-9).ceil().max(1.0);
+        let rho = (rho_bound.max(ell) - 1e-9).ceil();
+        if rho > n as f64 * ell + freezetag_geometry::EPS {
+            return Err(format!(
+                "inadmissible tuple: rho={rho} exceeds n*ell={} (n={n}, ell={ell})",
+                n as f64 * ell
+            ));
+        }
+        Ok(AdmissibleTuple::new(ell, rho, n))
+    }
 }
 
 impl fmt::Display for AdmissibleTuple {
@@ -142,11 +169,8 @@ impl Instance {
     pub fn admissible_tuple(&self) -> AdmissibleTuple {
         assert!(self.n() > 0, "empty instance has no admissible tuple");
         let p = self.params(None);
-        // Epsilon-ceil: arc-length sampling can put ℓ* at 1 + 1e-15, and a
-        // plain ceil would silently double the input parameter.
-        let ell = (p.ell_star - 1e-9).ceil().max(1.0);
-        let rho = (p.rho_star.max(ell) - 1e-9).ceil();
-        AdmissibleTuple::new(ell, rho, self.n())
+        AdmissibleTuple::rounded(p.ell_star, p.rho_star, self.n())
+            .expect("Proposition 1: measured bounds round to an admissible tuple")
     }
 
     /// A tuple with slack: `ℓ` and `ρ` multiplied by the given factors

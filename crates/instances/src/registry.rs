@@ -237,6 +237,51 @@ pub const GENERATORS: &[GeneratorInfo] = &[
         ],
     },
     GeneratorInfo {
+        name: "uniform_1m",
+        aliases: &["disk_1m"],
+        summary: "10^6 robots uniform in a disk; explicit ell (scale family)",
+        seeded: true,
+        adversarial: false,
+        params: &[
+            p!("n", 1_000_000.0, "number of robots"),
+            p!("radius", 640.0, "disk radius"),
+            p!(
+                "ell",
+                4.0,
+                "asserted connectivity bound handed to the algorithms"
+            ),
+        ],
+    },
+    GeneratorInfo {
+        name: "grid_1m",
+        aliases: &["lattice_1m"],
+        summary: "1000 x 1000 lattice (10^6 robots); explicit ell",
+        seeded: false,
+        adversarial: false,
+        params: &[
+            p!("side", 1000.0, "robots per lattice side"),
+            p!("spacing", 1.0, "lattice spacing"),
+            p!("ell", 1.0, "asserted connectivity bound (the spacing)"),
+        ],
+    },
+    GeneratorInfo {
+        name: "skewed_500k",
+        aliases: &[],
+        summary: "5*10^5-robot dense disk plus a distant straggler; explicit ell",
+        seeded: true,
+        adversarial: false,
+        params: &[
+            p!("n", 500_000.0, "robots in the dense disk"),
+            p!("radius", 300.0, "dense disk radius"),
+            p!("far", 500.0, "straggler distance (on the diagonal)"),
+            p!(
+                "ell",
+                420.0,
+                "asserted connectivity bound (>= sqrt(2)*far - radius)"
+            ),
+        ],
+    },
+    GeneratorInfo {
         name: "theorem6",
         aliases: &["path"],
         summary: "rectilinear path with prescribed eccentricity (Thm 6)",
@@ -355,6 +400,31 @@ fn check_constraints(r: &Resolved<'_>) -> Result<(), RegistryError> {
                 });
             }
         }
+        "grid_1m" => {
+            let (spacing, ell) = (r.get("spacing")?, r.get("ell")?);
+            if ell < spacing - 1e-9 {
+                return Err(RegistryError::InvalidParam {
+                    generator: r.info.name,
+                    key: "ell",
+                    message: format!(
+                        "lattice threshold is the spacing: need ell >= spacing ({ell} < {spacing})"
+                    ),
+                });
+            }
+        }
+        "skewed_500k" => {
+            let (radius, far, ell) = (r.get("radius")?, r.get("far")?, r.get("ell")?);
+            let gap = std::f64::consts::SQRT_2 * far - radius;
+            if ell < gap - 1e-9 {
+                return Err(RegistryError::InvalidParam {
+                    generator: r.info.name,
+                    key: "ell",
+                    message: format!(
+                        "the straggler sits {gap:.1} beyond the disk: need ell >= sqrt(2)*far - radius"
+                    ),
+                });
+            }
+        }
         "theorem3" if r.get("ell")? <= 1.0 => {
             return Err(RegistryError::InvalidParam {
                 generator: r.info.name,
@@ -447,13 +517,18 @@ pub fn build(name: &str, params: &ParamMap, seed: u64) -> Result<Built, Registry
             r.get("chain")?,
             seed,
         )),
-        "skewed" => {
+        "skewed" | "skewed_500k" => {
             let far = r.get("far")?;
             let mut pts: Vec<Point> = uniform_disk(r.get_count("n")?, r.get("radius")?, seed)
                 .positions()
                 .to_vec();
             pts.push(Point::new(far, far));
             Built::Concrete(Instance::new(pts))
+        }
+        "uniform_1m" => Built::Concrete(uniform_disk(r.get_count("n")?, r.get("radius")?, seed)),
+        "grid_1m" => {
+            let side = r.get_count("side")?;
+            Built::Concrete(grid_lattice(side, side, r.get("spacing")?))
         }
         "theorem6" => {
             let p = Theorem6Params {
@@ -473,6 +548,25 @@ pub fn build(name: &str, params: &ParamMap, seed: u64) -> Result<Built, Registry
         other => unreachable!("unhandled registered generator {other}"),
     };
     Ok(built)
+}
+
+/// The asserted connectivity bound `ℓ` of a *scale family* — a generator
+/// whose parameter set includes an explicit `ell` the operator vouches for
+/// — resolved against `params` (falling back to the family default).
+/// `None` for ordinary generators, whose exact `ℓ*` is computed from the
+/// built instance.
+///
+/// The paper's algorithms take `(ℓ, ρ)` as *inputs* (Section 1.2);
+/// computing `ℓ*` exactly is an `O(n²)` convenience of the experiment
+/// harness that 10⁶-robot sweeps cannot afford. The scale families trade
+/// that pass for a declared bound, checked only where geometry pins it
+/// (lattice spacing, straggler gap).
+pub fn preset_ell(name: &str, params: &ParamMap) -> Option<f64> {
+    let info = lookup(name)?;
+    if !matches!(info.name, "uniform_1m" | "grid_1m" | "skewed_500k") {
+        return None;
+    }
+    Resolved { info, params }.get("ell").ok()
 }
 
 /// Like [`build`] but requires a concrete instance.
@@ -517,13 +611,42 @@ mod tests {
     #[test]
     fn every_generator_builds_with_defaults() {
         for info in GENERATORS {
-            let built = build(info.name, &ParamMap::new(), 1)
+            // The scale families default to 10⁵–10⁶ robots; build them
+            // shrunk so this stays a unit test (their full-size defaults
+            // are exercised by the scale smoke sweep in CI).
+            let p = match info.name {
+                "uniform_1m" => params(&[("n", 500.0), ("radius", 15.0)]),
+                "grid_1m" => params(&[("side", 20.0)]),
+                "skewed_500k" => params(&[("n", 500.0)]),
+                _ => ParamMap::new(),
+            };
+            let built = build(info.name, &p, 1)
                 .unwrap_or_else(|e| panic!("{} failed on defaults: {e}", info.name));
             match built {
                 Built::Concrete(inst) => assert!(inst.n() > 0, "{} empty", info.name),
                 Built::Adversarial(layout) => assert!(layout.n() > 0, "{} empty", info.name),
             }
         }
+    }
+
+    #[test]
+    fn scale_families_declare_their_ell_and_check_geometry() {
+        assert_eq!(preset_ell("uniform_1m", &ParamMap::new()), Some(4.0));
+        assert_eq!(preset_ell("disk_1m", &params(&[("ell", 6.0)])), Some(6.0));
+        assert_eq!(preset_ell("grid_1m", &ParamMap::new()), Some(1.0));
+        assert_eq!(preset_ell("skewed_500k", &ParamMap::new()), Some(420.0));
+        // Ordinary generators compute ℓ* instead of asserting it.
+        assert_eq!(preset_ell("disk", &ParamMap::new()), None);
+        assert_eq!(preset_ell("theorem2", &ParamMap::new()), None);
+        // Geometry-pinned bounds are validated.
+        let err = validate("grid_1m", &params(&[("spacing", 2.0), ("ell", 1.0)])).unwrap_err();
+        assert!(err.to_string().contains("spacing"), "{err}");
+        let err = validate("skewed_500k", &params(&[("ell", 10.0)])).unwrap_err();
+        assert!(err.to_string().contains("straggler"), "{err}");
+        // A shrunk family member builds the same instance as its base
+        // generator with the mapped parameters.
+        let a = build_instance("uniform_1m", &params(&[("n", 50.0), ("radius", 9.0)]), 5).unwrap();
+        assert_eq!(a, uniform_disk(50, 9.0, 5));
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub struct AdversarialWorld {
     layout: AdversarialLayout,
     disks: Vec<DiskState>,
     wake_times: Vec<Option<f64>>, // indexed by RobotId::index()
+    asleep: usize,
     center_index: GridIndex,
+    scratch: Vec<usize>,
     looks: usize,
 }
 
@@ -79,11 +81,14 @@ impl AdversarialWorld {
         wake_times[0] = Some(0.0);
         let cell = layout.disk_radius.max(1.0);
         let center_index = GridIndex::build(&layout.centers, cell);
+        let asleep = wake_times.len() - 1;
         AdversarialWorld {
             layout,
             disks,
             wake_times,
+            asleep,
             center_index,
+            scratch: Vec::new(),
             looks: 0,
         }
     }
@@ -123,12 +128,13 @@ impl WorldView for AdversarialWorld {
         Point::ORIGIN
     }
 
-    fn look(&mut self, from: Point, time: f64) -> Vec<Sighting> {
+    fn look_into(&mut self, from: Point, time: f64, out: &mut Vec<Sighting>) {
         self.looks += 1;
-        let mut out = Vec::new();
+        out.clear();
         let reach = 1.0 + self.layout.disk_radius + freezetag_geometry::EPS;
-        let near: Vec<usize> = self.center_index.within(from, reach).collect();
-        for i in near {
+        let mut near = std::mem::take(&mut self.scratch);
+        self.center_index.within_into(from, reach, &mut near);
+        for &i in &near {
             let id = RobotId::sleeper(i);
             let awake_before = match self.wake_times[id.index()] {
                 Some(wt) => time >= wt - freezetag_geometry::EPS,
@@ -163,8 +169,8 @@ impl WorldView for AdversarialWorld {
                 }
             }
         }
+        self.scratch = near;
         out.sort_by_key(|s| s.id);
-        out
     }
 
     fn wake(&mut self, target: RobotId, time: f64) -> Result<(), SimError> {
@@ -179,6 +185,7 @@ impl WorldView for AdversarialWorld {
             return Err(SimError::AlreadyAwake(target));
         }
         *slot = Some(time);
+        self.asleep -= 1;
         Ok(())
     }
 
@@ -198,6 +205,14 @@ impl WorldView for AdversarialWorld {
                 DiskState::Hidden { .. } => None,
             },
         }
+    }
+
+    fn all_awake(&self) -> bool {
+        self.asleep == 0
+    }
+
+    fn asleep_count(&self) -> usize {
+        self.asleep
     }
 
     fn look_count(&self) -> usize {

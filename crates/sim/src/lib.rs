@@ -41,6 +41,7 @@ mod adversary;
 mod error;
 pub mod events;
 mod id;
+mod record;
 mod schedule;
 #[allow(clippy::module_inception)]
 mod sim;
@@ -52,6 +53,7 @@ mod world;
 pub use adversary::AdversarialWorld;
 pub use error::SimError;
 pub use id::RobotId;
+pub use record::{FullRecorder, Recorder, StatsRecorder};
 pub use schedule::{Schedule, Segment, Timeline, WakeEvent};
 pub use sim::Sim;
 pub use trace::{Trace, TraceSpan};

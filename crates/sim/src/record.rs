@@ -1,0 +1,425 @@
+//! Pluggable run observability: the [`Recorder`] trait splits *driving* a
+//! simulation from *recording* it.
+//!
+//! [`Sim`](crate::Sim) routes every kinematic event (activation, move,
+//! wait, wake) through its recorder. Two implementations ship:
+//!
+//! * [`FullRecorder`] — today's complete record: one
+//!   [`Timeline`](crate::Timeline) of segments per robot inside a
+//!   [`Schedule`], as required by the independent validator, the SVG
+//!   renderer and the adversarial theorem checks. Memory grows with the
+//!   number of *moves* (`O(total segments)`).
+//! * [`StatsRecorder`] — constant memory per robot: wake time, current
+//!   time/position, and accumulated travel. No segments are kept, which is
+//!   what makes 10⁶-robot sweeps fit in memory.
+//!
+//! The two recorders are *bit-identical* on every aggregate they share
+//! (makespan, completion time, per-robot wake times and travel, max/total
+//! energy): `StatsRecorder` performs the same floating-point additions in
+//! the same per-robot order that [`Schedule`]'s derived statistics do, a
+//! property pinned by the `recorder_parity` proptest suite.
+
+use crate::{RobotId, Schedule, WakeEvent};
+use freezetag_geometry::Point;
+
+/// Receives every kinematic event of a run and answers the per-robot state
+/// queries the simulation driver needs (current time/position).
+///
+/// All f64-returning aggregate methods must be deterministic functions of
+/// the event sequence — the experiment engine's byte-identical-output
+/// guarantee rests on it.
+pub trait Recorder {
+    /// A fresh recorder for `n` sleeping robots (robot slots `0..=n`, with
+    /// the source at index 0).
+    fn with_capacity(n: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Starts recording `robot` from `time` at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot was already activated.
+    fn activate(&mut self, robot: RobotId, time: f64, pos: Point);
+
+    /// Whether `robot` has been activated.
+    fn is_active(&self, robot: RobotId) -> bool;
+
+    /// Current (latest) time of `robot`, `None` if not activated.
+    fn current_time(&self, robot: RobotId) -> Option<f64>;
+
+    /// Current (latest) position of `robot`, `None` if not activated.
+    fn current_pos(&self, robot: RobotId) -> Option<Point>;
+
+    /// Records a unit-speed move of `robot` to `dest`; returns the arrival
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is not activated.
+    fn move_to(&mut self, robot: RobotId, dest: Point) -> f64;
+
+    /// Records a wait of `robot` until absolute time `t` (no-op for past
+    /// times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is not activated.
+    fn wait_until(&mut self, robot: RobotId, t: f64);
+
+    /// Appends a wake event to the log.
+    fn record_wake(&mut self, event: WakeEvent);
+
+    /// The wake-event log in recording order.
+    fn wakes(&self) -> &[WakeEvent];
+
+    /// Activation (wake) time of `robot`, `None` if not activated.
+    fn wake_time(&self, robot: RobotId) -> Option<f64>;
+
+    /// Total distance travelled by `robot` so far, `None` if not
+    /// activated.
+    fn travel(&self, robot: RobotId) -> Option<f64>;
+
+    /// Number of activated robots.
+    fn active_count(&self) -> usize;
+
+    /// The latest wake time — the paper's *makespan*; 0 when nothing was
+    /// woken.
+    fn makespan(&self) -> f64 {
+        self.wakes().iter().map(|w| w.time).fold(0.0, f64::max)
+    }
+
+    /// The time the last robot finishes moving/waiting (≥ makespan).
+    fn completion_time(&self) -> f64;
+
+    /// Largest per-robot travel distance (worst-case energy).
+    fn max_energy(&self) -> f64;
+
+    /// Total travel distance over all robots.
+    fn total_energy(&self) -> f64;
+
+    /// Deterministic estimate of the recorder's heap footprint in bytes —
+    /// a function of the event sequence only (no allocator introspection),
+    /// so sweep output stays byte-identical across thread counts.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// The complete-record implementation: a [`Schedule`] (per-robot segment
+/// timelines plus the wake log). Required by `validate`, SVG export and
+/// every consumer that replays trajectories.
+#[derive(Debug, Clone)]
+pub struct FullRecorder {
+    schedule: Schedule,
+}
+
+impl FullRecorder {
+    /// Read access to the recorded schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Consumes the recorder, returning the schedule.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+}
+
+impl Recorder for FullRecorder {
+    fn with_capacity(n: usize) -> Self {
+        FullRecorder {
+            schedule: Schedule::new(n),
+        }
+    }
+
+    fn activate(&mut self, robot: RobotId, time: f64, pos: Point) {
+        self.schedule.activate(robot, time, pos);
+    }
+
+    fn is_active(&self, robot: RobotId) -> bool {
+        self.schedule.timeline(robot).is_some()
+    }
+
+    fn current_time(&self, robot: RobotId) -> Option<f64> {
+        self.schedule.timeline(robot).map(|tl| tl.current_time())
+    }
+
+    fn current_pos(&self, robot: RobotId) -> Option<Point> {
+        self.schedule.timeline(robot).map(|tl| tl.current_pos())
+    }
+
+    fn move_to(&mut self, robot: RobotId, dest: Point) -> f64 {
+        self.schedule.timeline_mut(robot).move_to(dest)
+    }
+
+    fn wait_until(&mut self, robot: RobotId, t: f64) {
+        self.schedule.timeline_mut(robot).wait_until(t);
+    }
+
+    fn record_wake(&mut self, event: WakeEvent) {
+        self.schedule.record_wake(event);
+    }
+
+    fn wakes(&self) -> &[WakeEvent] {
+        self.schedule.wakes()
+    }
+
+    fn wake_time(&self, robot: RobotId) -> Option<f64> {
+        self.schedule.timeline(robot).map(|tl| tl.start_time())
+    }
+
+    fn travel(&self, robot: RobotId) -> Option<f64> {
+        self.schedule.timeline(robot).map(|tl| tl.travel())
+    }
+
+    fn active_count(&self) -> usize {
+        self.schedule.active_count()
+    }
+
+    fn makespan(&self) -> f64 {
+        self.schedule.makespan()
+    }
+
+    fn completion_time(&self) -> f64 {
+        self.schedule.completion_time()
+    }
+
+    fn max_energy(&self) -> f64 {
+        self.schedule.max_energy()
+    }
+
+    fn total_energy(&self) -> f64 {
+        self.schedule.total_energy()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.schedule.memory_bytes()
+    }
+}
+
+const ASLEEP: f64 = f64::NAN;
+
+/// The constant-memory implementation: flat per-robot arrays (wake time,
+/// current time, current position, accumulated travel) plus the wake log.
+/// No segments — trajectories cannot be replayed or validated, but every
+/// aggregate statistic matches [`FullRecorder`] bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct StatsRecorder {
+    // Indexed by RobotId::index(); NaN in `wake_times` means "asleep".
+    wake_times: Vec<f64>,
+    times: Vec<f64>,
+    pos_x: Vec<f64>,
+    pos_y: Vec<f64>,
+    travels: Vec<f64>,
+    wakes: Vec<WakeEvent>,
+    active: usize,
+}
+
+impl StatsRecorder {
+    #[inline]
+    fn check_active(&self, robot: RobotId) -> usize {
+        let i = robot.index();
+        assert!(
+            !self.wake_times[i].is_nan(),
+            "robot has no timeline (asleep)"
+        );
+        i
+    }
+}
+
+impl Recorder for StatsRecorder {
+    fn with_capacity(n: usize) -> Self {
+        StatsRecorder {
+            wake_times: vec![ASLEEP; n + 1],
+            times: vec![0.0; n + 1],
+            pos_x: vec![0.0; n + 1],
+            pos_y: vec![0.0; n + 1],
+            travels: vec![0.0; n + 1],
+            wakes: Vec::new(),
+            active: 0,
+        }
+    }
+
+    fn activate(&mut self, robot: RobotId, time: f64, pos: Point) {
+        let i = robot.index();
+        assert!(self.wake_times[i].is_nan(), "robot {robot} activated twice");
+        self.wake_times[i] = time;
+        self.times[i] = time;
+        self.pos_x[i] = pos.x;
+        self.pos_y[i] = pos.y;
+        self.travels[i] = 0.0;
+        self.active += 1;
+    }
+
+    fn is_active(&self, robot: RobotId) -> bool {
+        !self.wake_times[robot.index()].is_nan()
+    }
+
+    fn current_time(&self, robot: RobotId) -> Option<f64> {
+        let i = robot.index();
+        (!self.wake_times[i].is_nan()).then(|| self.times[i])
+    }
+
+    fn current_pos(&self, robot: RobotId) -> Option<Point> {
+        let i = robot.index();
+        (!self.wake_times[i].is_nan()).then(|| Point::new(self.pos_x[i], self.pos_y[i]))
+    }
+
+    fn move_to(&mut self, robot: RobotId, dest: Point) -> f64 {
+        let i = self.check_active(robot);
+        // Same operations in the same order as Timeline::move_to +
+        // Timeline::travel: one dist per move, accumulated per robot.
+        let d = Point::new(self.pos_x[i], self.pos_y[i]).dist(dest);
+        let end = self.times[i] + d;
+        self.times[i] = end;
+        self.pos_x[i] = dest.x;
+        self.pos_y[i] = dest.y;
+        self.travels[i] += d;
+        end
+    }
+
+    fn wait_until(&mut self, robot: RobotId, t: f64) {
+        let i = self.check_active(robot);
+        // Mirrors Timeline::wait_until: waits contribute a 0-length
+        // segment, which adds exactly 0.0 travel — skipping the addition
+        // keeps the per-robot travel sum bit-identical.
+        if t > self.times[i] + freezetag_geometry::EPS {
+            self.times[i] = t;
+        }
+    }
+
+    fn record_wake(&mut self, event: WakeEvent) {
+        self.wakes.push(event);
+    }
+
+    fn wakes(&self) -> &[WakeEvent] {
+        &self.wakes
+    }
+
+    fn wake_time(&self, robot: RobotId) -> Option<f64> {
+        let t = self.wake_times[robot.index()];
+        (!t.is_nan()).then_some(t)
+    }
+
+    fn travel(&self, robot: RobotId) -> Option<f64> {
+        let i = robot.index();
+        (!self.wake_times[i].is_nan()).then(|| self.travels[i])
+    }
+
+    fn active_count(&self) -> usize {
+        self.active
+    }
+
+    fn completion_time(&self) -> f64 {
+        // Index order, exactly like Schedule::completion_time.
+        (0..self.times.len())
+            .filter(|&i| !self.wake_times[i].is_nan())
+            .map(|i| self.times[i])
+            .fold(0.0, f64::max)
+    }
+
+    fn max_energy(&self) -> f64 {
+        (0..self.travels.len())
+            .filter(|&i| !self.wake_times[i].is_nan())
+            .map(|i| self.travels[i])
+            .fold(0.0, f64::max)
+    }
+
+    fn total_energy(&self) -> f64 {
+        // Per-robot travels summed in index order — the same association
+        // and the same +0.0 fold Schedule::total_energy uses.
+        (0..self.travels.len())
+            .filter(|&i| !self.wake_times[i].is_nan())
+            .map(|i| self.travels[i])
+            .fold(0.0, |a, b| a + b)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.wake_times.len() * 8 * 5 + self.wakes.len() * std::mem::size_of::<WakeEvent>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<R: Recorder>(rec: &mut R) {
+        rec.activate(RobotId::SOURCE, 0.0, Point::ORIGIN);
+        rec.move_to(RobotId::SOURCE, Point::new(3.0, 4.0));
+        rec.record_wake(WakeEvent {
+            waker: RobotId::SOURCE,
+            target: RobotId::sleeper(0),
+            time: 5.0,
+            pos: Point::new(3.0, 4.0),
+        });
+        rec.activate(RobotId::sleeper(0), 5.0, Point::new(3.0, 4.0));
+        rec.wait_until(RobotId::sleeper(0), 7.0);
+        rec.move_to(RobotId::sleeper(0), Point::new(3.0, 0.0));
+        rec.wait_until(RobotId::SOURCE, 2.0); // past: no-op
+    }
+
+    #[test]
+    fn stats_and_full_agree_bitwise_on_a_scripted_run() {
+        let mut full = FullRecorder::with_capacity(2);
+        let mut stats = StatsRecorder::with_capacity(2);
+        drive(&mut full);
+        drive(&mut stats);
+        assert_eq!(full.makespan().to_bits(), stats.makespan().to_bits());
+        assert_eq!(
+            full.completion_time().to_bits(),
+            stats.completion_time().to_bits()
+        );
+        assert_eq!(full.max_energy().to_bits(), stats.max_energy().to_bits());
+        assert_eq!(
+            full.total_energy().to_bits(),
+            stats.total_energy().to_bits()
+        );
+        for i in 0..=2 {
+            let r = RobotId::from_index(i);
+            assert_eq!(full.wake_time(r), stats.wake_time(r), "wake_time {r}");
+            assert_eq!(
+                full.travel(r).map(f64::to_bits),
+                stats.travel(r).map(f64::to_bits),
+                "travel {r}"
+            );
+            assert_eq!(full.current_time(r), stats.current_time(r));
+            assert_eq!(full.current_pos(r), stats.current_pos(r));
+        }
+        assert_eq!(full.active_count(), 2);
+        assert_eq!(stats.active_count(), 2);
+        assert_eq!(full.wakes(), stats.wakes());
+    }
+
+    #[test]
+    fn stats_memory_is_independent_of_move_count() {
+        let mut rec = StatsRecorder::with_capacity(1);
+        rec.activate(RobotId::SOURCE, 0.0, Point::ORIGIN);
+        let before = rec.memory_bytes();
+        for i in 0..1000 {
+            rec.move_to(RobotId::SOURCE, Point::new(i as f64, 0.0));
+        }
+        assert_eq!(rec.memory_bytes(), before, "stats memory must not grow");
+
+        let mut full = FullRecorder::with_capacity(1);
+        full.activate(RobotId::SOURCE, 0.0, Point::ORIGIN);
+        let before = full.memory_bytes();
+        for i in 0..1000 {
+            full.move_to(RobotId::SOURCE, Point::new(i as f64, 0.0));
+        }
+        assert!(full.memory_bytes() > before, "full memory must grow");
+    }
+
+    #[test]
+    #[should_panic]
+    fn stats_double_activation_panics() {
+        let mut rec = StatsRecorder::with_capacity(1);
+        rec.activate(RobotId::SOURCE, 0.0, Point::ORIGIN);
+        rec.activate(RobotId::SOURCE, 1.0, Point::ORIGIN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stats_moving_sleeping_robot_panics() {
+        let mut rec = StatsRecorder::with_capacity(1);
+        rec.move_to(RobotId::sleeper(0), Point::ORIGIN);
+    }
+}

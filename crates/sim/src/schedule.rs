@@ -125,9 +125,14 @@ impl Timeline {
     }
 
     /// Total distance travelled — the robot's energy consumption in the
-    /// paper's model.
+    /// paper's model. Folded from `+0.0` (not `Sum`'s `-0.0` identity) so
+    /// a never-moving robot reports bit-exact `+0.0`, matching the
+    /// constant-memory recorder's accumulator.
     pub fn travel(&self) -> f64 {
-        self.segments.iter().map(Segment::length).sum()
+        self.segments
+            .iter()
+            .map(Segment::length)
+            .fold(0.0, |a, b| a + b)
     }
 
     /// Appends a physically impossible segment (10 units of distance in 1
@@ -256,14 +261,29 @@ impl Schedule {
         self.timelines().map(Timeline::travel).fold(0.0, f64::max)
     }
 
-    /// Total travel distance over all robots.
+    /// Total travel distance over all robots (`+0.0` fold, see
+    /// [`Timeline::travel`]).
     pub fn total_energy(&self) -> f64 {
-        self.timelines().map(Timeline::travel).sum()
+        self.timelines()
+            .map(Timeline::travel)
+            .fold(0.0, |a, b| a + b)
     }
 
     /// Number of robots with a started timeline (awake robots).
     pub fn active_count(&self) -> usize {
         self.timelines().count()
+    }
+
+    /// Deterministic estimate of the schedule's heap footprint in bytes:
+    /// slot array plus recorded segments plus the wake log. Counts lengths,
+    /// not capacities, so the value depends only on the event sequence.
+    pub fn memory_bytes(&self) -> usize {
+        self.timelines.len() * std::mem::size_of::<Option<Timeline>>()
+            + self
+                .timelines()
+                .map(|tl| std::mem::size_of_val(tl.segments()))
+                .sum::<usize>()
+            + self.wakes.len() * std::mem::size_of::<WakeEvent>()
     }
 }
 

@@ -1,14 +1,21 @@
+use crate::record::{FullRecorder, Recorder, StatsRecorder};
 use crate::{RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView};
 use freezetag_geometry::Point;
 
 /// The simulation driver: couples a [`WorldView`] (restricted sensing) with
-/// a [`Schedule`] (exact time/energy accounting).
+/// a [`Recorder`] (time/energy accounting).
 ///
 /// Algorithms manipulate robots exclusively through this API:
 /// [`Sim::move_to`], [`Sim::wait_until`], [`Sim::look`] and [`Sim::wake`].
 /// Misuse — moving a sleeping robot, waking from a distance, waking an
 /// already-awake robot — panics immediately: those are algorithm bugs, not
 /// recoverable conditions.
+///
+/// The recorder is a type parameter defaulting to [`FullRecorder`] (full
+/// per-robot segment timelines, as the validator and SVG renderer need);
+/// [`Sim::with_stats`] builds a constant-memory [`StatsRecorder`] driver
+/// for aggregate-only sweeps at 10⁶-robot scale, and
+/// [`Sim::with_recorder`] accepts any custom recorder.
 ///
 /// # Example
 ///
@@ -23,21 +30,49 @@ use freezetag_geometry::Point;
 /// assert_eq!(sim.time(RobotId::SOURCE), 2.0);
 /// ```
 #[derive(Debug)]
-pub struct Sim<W> {
+pub struct Sim<W, R = FullRecorder> {
     world: W,
-    schedule: Schedule,
+    recorder: R,
     trace: Trace,
 }
 
 impl<W: WorldView> Sim<W> {
-    /// Starts a simulation at time 0 with only the source awake, at the
-    /// world's source position.
+    /// Starts a fully-recorded simulation at time 0 with only the source
+    /// awake, at the world's source position.
     pub fn new(world: W) -> Self {
-        let mut schedule = Schedule::new(world.n());
-        schedule.activate(RobotId::SOURCE, 0.0, world.source_pos());
+        let recorder = FullRecorder::with_capacity(world.n());
+        Sim::with_recorder(world, recorder)
+    }
+
+    /// The schedule recorded so far (full recorder only).
+    pub fn schedule(&self) -> &Schedule {
+        self.recorder.schedule()
+    }
+
+    /// Consumes the simulation, returning `(world, schedule, trace)`.
+    pub fn into_parts(self) -> (W, Schedule, Trace) {
+        (self.world, self.recorder.into_schedule(), self.trace)
+    }
+}
+
+impl<W: WorldView> Sim<W, StatsRecorder> {
+    /// Starts a constant-memory simulation: per-robot aggregates only, no
+    /// segment timelines. The run cannot be validated or rendered, but
+    /// every aggregate matches a [`FullRecorder`] run bit-for-bit.
+    pub fn with_stats(world: W) -> Self {
+        let recorder = StatsRecorder::with_capacity(world.n());
+        Sim::with_recorder(world, recorder)
+    }
+}
+
+impl<W: WorldView, R: Recorder> Sim<W, R> {
+    /// Starts a simulation over an arbitrary recorder (which must be fresh
+    /// — no robot activated yet).
+    pub fn with_recorder(world: W, mut recorder: R) -> Self {
+        recorder.activate(RobotId::SOURCE, 0.0, world.source_pos());
         Sim {
             world,
-            schedule,
+            recorder,
             trace: Trace::new(),
         }
     }
@@ -47,9 +82,9 @@ impl<W: WorldView> Sim<W> {
         &self.world
     }
 
-    /// The schedule recorded so far.
-    pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+    /// Read access to the recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// The phase trace recorded so far.
@@ -62,9 +97,15 @@ impl<W: WorldView> Sim<W> {
         &mut self.trace
     }
 
-    /// Consumes the simulation, returning `(world, schedule, trace)`.
-    pub fn into_parts(self) -> (W, Schedule, Trace) {
-        (self.world, self.schedule, self.trace)
+    /// The wake-event log in recording order (available on every
+    /// recorder).
+    pub fn wakes(&self) -> &[WakeEvent] {
+        self.recorder.wakes()
+    }
+
+    /// Consumes the simulation, returning `(world, recorder, trace)`.
+    pub fn into_recorder_parts(self) -> (W, R, Trace) {
+        (self.world, self.recorder, self.trace)
     }
 
     /// Current time of an awake robot.
@@ -73,10 +114,7 @@ impl<W: WorldView> Sim<W> {
     ///
     /// Panics if the robot is asleep.
     pub fn time(&self, robot: RobotId) -> f64 {
-        self.schedule
-            .timeline(robot)
-            .expect("robot is asleep")
-            .current_time()
+        self.recorder.current_time(robot).expect("robot is asleep")
     }
 
     /// Current position of an awake robot.
@@ -85,10 +123,7 @@ impl<W: WorldView> Sim<W> {
     ///
     /// Panics if the robot is asleep.
     pub fn pos(&self, robot: RobotId) -> Point {
-        self.schedule
-            .timeline(robot)
-            .expect("robot is asleep")
-            .current_pos()
+        self.recorder.current_pos(robot).expect("robot is asleep")
     }
 
     /// Moves an awake robot in a straight line at unit speed; returns the
@@ -98,7 +133,7 @@ impl<W: WorldView> Sim<W> {
     ///
     /// Panics if the robot is asleep.
     pub fn move_to(&mut self, robot: RobotId, dest: Point) -> f64 {
-        self.schedule.timeline_mut(robot).move_to(dest)
+        self.recorder.move_to(robot, dest)
     }
 
     /// Makes an awake robot wait (at its position) until absolute time `t`;
@@ -108,19 +143,33 @@ impl<W: WorldView> Sim<W> {
     ///
     /// Panics if the robot is asleep.
     pub fn wait_until(&mut self, robot: RobotId, t: f64) {
-        self.schedule.timeline_mut(robot).wait_until(t);
+        self.recorder.wait_until(robot, t);
     }
 
     /// Takes a snapshot from the robot's current position at its current
-    /// time: sleeping robots within Euclidean distance 1.
+    /// time: sleeping robots within Euclidean distance 1. Allocates a
+    /// fresh vector; hot loops should prefer [`Sim::look_into`].
     ///
     /// # Panics
     ///
     /// Panics if the robot is asleep.
     pub fn look(&mut self, robot: RobotId) -> Vec<Sighting> {
-        let tl = self.schedule.timeline(robot).expect("robot is asleep");
-        let (pos, time) = (tl.current_pos(), tl.current_time());
-        self.world.look(pos, time)
+        let mut out = Vec::new();
+        self.look_into(robot, &mut out);
+        out
+    }
+
+    /// Buffer-reusing snapshot: clears `out` and fills it with the
+    /// sleeping robots within Euclidean distance 1 of the robot's current
+    /// position, sorted by id. Reusing one buffer across a sweep makes the
+    /// hottest loop of every algorithm allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep.
+    pub fn look_into(&mut self, robot: RobotId, out: &mut Vec<Sighting>) {
+        let (pos, time) = (self.pos(robot), self.time(robot));
+        self.world.look_into(pos, time, out);
     }
 
     /// Wakes `target`, which must be co-located with `waker` (within
@@ -133,8 +182,7 @@ impl<W: WorldView> Sim<W> {
     /// position is unknown to the world, or the two are not co-located —
     /// all of which are algorithm bugs.
     pub fn wake(&mut self, waker: RobotId, target: RobotId) -> RobotId {
-        let tl = self.schedule.timeline(waker).expect("waker is asleep");
-        let (wpos, time) = (tl.current_pos(), tl.current_time());
+        let (wpos, time) = (self.pos(waker), self.time(waker));
         let tpos = self
             .world
             .position(target)
@@ -147,8 +195,8 @@ impl<W: WorldView> Sim<W> {
         self.world
             .wake(target, time)
             .unwrap_or_else(|e| panic!("wake failed: {e}"));
-        self.schedule.activate(target, time, tpos);
-        self.schedule.record_wake(WakeEvent {
+        self.recorder.activate(target, time, tpos);
+        self.recorder.record_wake(WakeEvent {
             waker,
             target,
             time,
@@ -183,13 +231,16 @@ mod tests {
     use crate::ConcreteWorld;
     use freezetag_instances::Instance;
 
-    fn sim() -> Sim<ConcreteWorld> {
-        let inst = Instance::new(vec![
+    fn instance() -> Instance {
+        Instance::new(vec![
             Point::new(0.5, 0.0),
             Point::new(1.0, 0.0),
             Point::new(5.0, 0.0),
-        ]);
-        Sim::new(ConcreteWorld::new(&inst))
+        ])
+    }
+
+    fn sim() -> Sim<ConcreteWorld> {
+        Sim::new(ConcreteWorld::new(&instance()))
     }
 
     #[test]
@@ -213,6 +264,48 @@ mod tests {
         s.wake(r0, RobotId::sleeper(1));
         assert_eq!(s.schedule().wakes().len(), 2);
         assert_eq!(s.schedule().makespan(), 1.0);
+    }
+
+    #[test]
+    fn stats_driver_matches_full_driver_on_a_chain() {
+        let inst = instance();
+        let script = |mut s: Sim<ConcreteWorld, StatsRecorder>| -> (f64, f64, f64) {
+            let mut buf = Vec::new();
+            s.look_into(RobotId::SOURCE, &mut buf);
+            assert_eq!(buf.len(), 2);
+            s.move_to(RobotId::SOURCE, buf[0].pos);
+            let r0 = s.wake(RobotId::SOURCE, buf[0].id);
+            s.move_to(r0, Point::new(1.0, 0.0));
+            s.wake(r0, RobotId::sleeper(1));
+            let (_, rec, _) = s.into_recorder_parts();
+            (rec.makespan(), rec.total_energy(), rec.max_energy())
+        };
+        let (mk, te, me) = script(Sim::with_stats(ConcreteWorld::new(&inst)));
+        let mut full = Sim::new(ConcreteWorld::new(&inst));
+        let seen = full.look(RobotId::SOURCE);
+        full.move_to(RobotId::SOURCE, seen[0].pos);
+        let r0 = full.wake(RobotId::SOURCE, seen[0].id);
+        full.move_to(r0, Point::new(1.0, 0.0));
+        full.wake(r0, RobotId::sleeper(1));
+        let (_, schedule, _) = full.into_parts();
+        assert_eq!(mk.to_bits(), schedule.makespan().to_bits());
+        assert_eq!(te.to_bits(), schedule.total_energy().to_bits());
+        assert_eq!(me.to_bits(), schedule.max_energy().to_bits());
+    }
+
+    #[test]
+    fn look_into_reuses_the_buffer() {
+        let mut s = sim();
+        let mut buf = vec![
+            Sighting {
+                id: RobotId::sleeper(2),
+                pos: Point::ORIGIN,
+            };
+            4
+        ];
+        s.look_into(RobotId::SOURCE, &mut buf);
+        let ids: Vec<RobotId> = buf.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![RobotId::sleeper(0), RobotId::sleeper(1)]);
     }
 
     #[test]

@@ -29,10 +29,22 @@ pub trait WorldView {
     /// Position of the source robot.
     fn source_pos(&self) -> Point;
 
-    /// Snapshot: sleeping robots within Euclidean distance 1 of `from` at
-    /// time `time`, sorted by id. Takes `&mut self` because adversarial
-    /// worlds update their knowledge state on every look.
-    fn look(&mut self, from: Point, time: f64) -> Vec<Sighting>;
+    /// Snapshot into a reusable buffer: clears `out` and fills it with the
+    /// sleeping robots within Euclidean distance 1 of `from` at time
+    /// `time`, sorted by id. Takes `&mut self` because adversarial worlds
+    /// update their knowledge state on every look.
+    ///
+    /// This is the hot sensing path: implementations must not allocate per
+    /// call beyond growing `out` and internal scratch to their high-water
+    /// marks.
+    fn look_into(&mut self, from: Point, time: f64, out: &mut Vec<Sighting>);
+
+    /// Allocating convenience wrapper around [`WorldView::look_into`].
+    fn look(&mut self, from: Point, time: f64) -> Vec<Sighting> {
+        let mut out = Vec::new();
+        self.look_into(from, time, &mut out);
+        out
+    }
 
     /// Marks `target` awake at `time`.
     ///
@@ -54,11 +66,16 @@ pub trait WorldView {
     fn position(&self, target: RobotId) -> Option<Point>;
 
     /// Whether every robot (including the source) is awake.
+    ///
+    /// The provided implementation scans all robots; both shipped worlds
+    /// override it with a maintained O(1) counter — this sits inside the
+    /// wave loops of every driver.
     fn all_awake(&self) -> bool {
         (0..=self.n()).all(|i| self.is_awake(RobotId::from_index(i)))
     }
 
-    /// Number of sleeping robots remaining.
+    /// Number of sleeping robots remaining (see [`WorldView::all_awake`]
+    /// on the provided implementation's cost).
     fn asleep_count(&self) -> usize {
         (0..=self.n())
             .filter(|&i| !self.is_awake(RobotId::from_index(i)))
@@ -69,8 +86,33 @@ pub trait WorldView {
     fn look_count(&self) -> usize;
 }
 
-/// A world built from a fixed [`Instance`]: all initial positions are
-/// determined upfront; `look` answers through a unit-cell spatial index.
+/// A bitset over robot indices (`RobotId::index()`), one bit per robot.
+#[derive(Debug, Clone)]
+struct AwakeBits(Vec<u64>);
+
+impl AwakeBits {
+    fn new(slots: usize) -> Self {
+        AwakeBits(vec![0; slots.div_ceil(64)])
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+}
+
+/// A world built from a fixed [`Instance`], stored struct-of-arrays: the
+/// initial positions live in the flat coordinate arrays of a unit-cell
+/// [`GridIndex`], wake state is a bitset plus a flat `Vec<f64>` of wake
+/// times, and a maintained counter answers [`WorldView::asleep_count`] in
+/// O(1). `look_into` reuses an internal scratch buffer, so steady-state
+/// sensing performs no allocations — the layout that makes 10⁶-robot runs
+/// tractable.
 ///
 /// # Example
 ///
@@ -88,83 +130,116 @@ pub trait WorldView {
 #[derive(Debug, Clone)]
 pub struct ConcreteWorld {
     source: Point,
-    positions: Vec<Point>,
-    wake_times: Vec<Option<f64>>, // indexed by RobotId::index()
+    /// Wake time by `RobotId::index()`; meaningful only when the awake bit
+    /// is set (NaN otherwise).
+    wake_times: Vec<f64>,
+    awake: AwakeBits,
+    asleep: usize,
     index: GridIndex,
+    scratch: Vec<usize>,
     looks: usize,
 }
 
 impl ConcreteWorld {
     /// Builds the world of an instance; only the source starts awake.
     pub fn new(instance: &Instance) -> Self {
-        let positions = instance.positions().to_vec();
-        let mut wake_times = vec![None; positions.len() + 1];
-        wake_times[0] = Some(0.0);
-        let index = GridIndex::build(&positions, 1.0);
+        let n = instance.n();
+        let mut wake_times = vec![f64::NAN; n + 1];
+        wake_times[0] = 0.0;
+        let mut awake = AwakeBits::new(n + 1);
+        awake.set(0);
+        let index = GridIndex::build(instance.positions(), 1.0);
         ConcreteWorld {
             source: instance.source(),
-            positions,
             wake_times,
+            awake,
+            asleep: n,
             index,
+            scratch: Vec::new(),
             looks: 0,
         }
     }
 
-    /// All sleeping-robot initial positions (index `i` is
-    /// `RobotId::sleeper(i)`).
-    pub fn positions(&self) -> &[Point] {
-        &self.positions
+    /// Initial position of sleeping robot `i` (`RobotId::sleeper(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn sleeper_pos(&self, i: usize) -> Point {
+        self.index.point(i)
+    }
+
+    /// Deterministic estimate of the world's heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes() + self.wake_times.len() * 8 + self.awake.0.len() * 8
     }
 }
 
 impl WorldView for ConcreteWorld {
     fn n(&self) -> usize {
-        self.positions.len()
+        self.index.len()
     }
 
     fn source_pos(&self) -> Point {
         self.source
     }
 
-    fn look(&mut self, from: Point, time: f64) -> Vec<Sighting> {
+    fn look_into(&mut self, from: Point, time: f64, out: &mut Vec<Sighting>) {
         self.looks += 1;
-        self.index
-            .within(from, 1.0)
-            .filter(|&i| {
-                match self.wake_times[i + 1] {
-                    None => true,                                    // still asleep: visible
-                    Some(wt) => time < wt - freezetag_geometry::EPS, // woken later
-                }
-            })
-            .map(|i| Sighting {
-                id: RobotId::sleeper(i),
-                pos: self.positions[i],
-            })
-            .collect()
+        out.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.index.within_into(from, 1.0, &mut scratch);
+        for &i in &scratch {
+            // Visible iff still asleep at `time` (woken strictly later
+            // counts as asleep now).
+            let visible = if self.awake.get(i + 1) {
+                time < self.wake_times[i + 1] - freezetag_geometry::EPS
+            } else {
+                true
+            };
+            if visible {
+                out.push(Sighting {
+                    id: RobotId::sleeper(i),
+                    pos: self.index.point(i),
+                });
+            }
+        }
+        self.scratch = scratch;
     }
 
     fn wake(&mut self, target: RobotId, time: f64) -> Result<(), SimError> {
-        let slot = &mut self.wake_times[target.index()];
-        if slot.is_some() {
+        let i = target.index();
+        if self.awake.get(i) {
             return Err(SimError::AlreadyAwake(target));
         }
-        *slot = Some(time);
+        self.awake.set(i);
+        self.wake_times[i] = time;
+        self.asleep -= 1;
         Ok(())
     }
 
     fn is_awake(&self, target: RobotId) -> bool {
-        self.wake_times[target.index()].is_some()
+        self.awake.get(target.index())
     }
 
     fn wake_time(&self, target: RobotId) -> Option<f64> {
-        self.wake_times[target.index()]
+        let i = target.index();
+        self.awake.get(i).then(|| self.wake_times[i])
     }
 
     fn position(&self, target: RobotId) -> Option<Point> {
         match target.sleeper_index() {
             None => Some(self.source),
-            Some(i) => Some(self.positions[i]),
+            Some(i) => Some(self.index.point(i)),
         }
+    }
+
+    fn all_awake(&self) -> bool {
+        self.asleep == 0
+    }
+
+    fn asleep_count(&self) -> usize {
+        self.asleep
     }
 
     fn look_count(&self) -> usize {
@@ -192,6 +267,18 @@ mod tests {
         let ids: Vec<RobotId> = seen.iter().map(|s| s.id).collect();
         assert_eq!(ids, vec![RobotId::sleeper(0), RobotId::sleeper(1)]);
         assert_eq!(w.look_count(), 1);
+    }
+
+    #[test]
+    fn look_into_reuses_buffers_without_stale_entries() {
+        let mut w = world();
+        let mut buf = Vec::new();
+        w.look_into(Point::ORIGIN, 0.0, &mut buf);
+        assert_eq!(buf.len(), 2);
+        w.look_into(Point::new(2.0, 2.0), 0.0, &mut buf);
+        assert_eq!(buf.len(), 1, "buffer must be cleared between looks");
+        assert_eq!(buf[0].id, RobotId::sleeper(2));
+        assert_eq!(w.look_count(), 2);
     }
 
     #[test]
@@ -230,9 +317,25 @@ mod tests {
     }
 
     #[test]
+    fn counter_agrees_with_trait_default_scan() {
+        let mut w = world();
+        let scan = |w: &ConcreteWorld| {
+            (0..=w.n())
+                .filter(|&i| !w.is_awake(RobotId::from_index(i)))
+                .count()
+        };
+        assert_eq!(w.asleep_count(), scan(&w));
+        w.wake(RobotId::sleeper(1), 2.0).unwrap();
+        assert_eq!(w.asleep_count(), scan(&w));
+        assert_eq!(w.all_awake(), scan(&w) == 0);
+    }
+
+    #[test]
     fn positions_are_known() {
         let w = world();
         assert_eq!(w.position(RobotId::SOURCE), Some(Point::ORIGIN));
         assert_eq!(w.position(RobotId::sleeper(2)), Some(Point::new(2.0, 2.0)));
+        assert_eq!(w.sleeper_pos(2), Point::new(2.0, 2.0));
+        assert!(w.memory_bytes() > 0);
     }
 }

@@ -16,7 +16,9 @@
 //! `--seed` (or, for sweeps, `--plan-seed` — for any `--threads`).
 
 use freezetag::core::{bounds, run_algorithm, solve, Algorithm};
-use freezetag::exp::{agg, emit, run_plan, run_single, AlgSpec, ExperimentPlan, ScenarioSpec};
+use freezetag::exp::{
+    agg, emit, run_plan, run_single, AlgSpec, ExperimentPlan, Profile, ScenarioSpec,
+};
 use freezetag::instances::registry::{self, GeneratorInfo, ParamMap};
 use freezetag::instances::Instance;
 use freezetag::sim::svg::{render_run, SvgOptions};
@@ -53,12 +55,16 @@ fn usage() -> String {
   dftp generate --gen <GEN> [GEN OPTIONS] [--out <FILE>]
   dftp sweep    --scenarios <SPEC[,SPEC...]> [--algs <A[,A...]>]
                 [--seeds <K>] [--plan-seed <S>] [--threads <N>]
-                [--format <json|jsonl|csv>] [--out <FILE>]
-                [--bench-json <FILE>] [--name <NAME>]
+                [--profile <full|stats>] [--format <json|jsonl|csv>]
+                [--out <FILE>] [--bench-json <FILE>] [--name <NAME>]
 
 sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
 sweep algorithms:     separator[:STRATEGY] | grid | wave |
                       central:STRATEGY | optimal  (default: separator,grid,wave)
+sweep profiles:       full  = complete schedules + validation (default)
+                      stats = constant memory per robot, no validation —
+                              required for the large-n scenario families
+                              (uniform_1m, grid_1m, skewed_500k)
 
 generators (defaults in parentheses; unseeded generators ignore --seed):
 ",
@@ -317,6 +323,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             "seeds",
             "plan-seed",
             "threads",
+            "profile",
             "format",
             "out",
             "bench-json",
@@ -340,9 +347,14 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(AlgSpec::parse)
         .collect::<Result<_, _>>()
         .map_err(|e| e.to_string())?;
+    let profile = match opts.get("profile") {
+        None => Profile::Full,
+        Some(text) => Profile::parse(text).map_err(|e| e.to_string())?,
+    };
     let mut plan = ExperimentPlan::new(opts.get("name").map(String::as_str).unwrap_or("sweep"))
         .seeds(get_u(opts, "seeds", 3)?)
-        .plan_seed(get_u(opts, "plan-seed", 1)? as u64);
+        .plan_seed(get_u(opts, "plan-seed", 1)? as u64)
+        .profile(profile);
     plan.scenarios = scenarios;
     plan.algorithms = algorithms;
     let threads = get_u(opts, "threads", 1)?;

@@ -188,11 +188,10 @@ impl WorldView for RecordingWorld {
     fn source_pos(&self) -> Point {
         self.inner.source_pos()
     }
-    fn look(&mut self, from: Point, time: f64) -> Vec<freezetag::sim::Sighting> {
-        let out = self.inner.look(from, time);
+    fn look_into(&mut self, from: Point, time: f64, out: &mut Vec<freezetag::sim::Sighting>) {
+        self.inner.look_into(from, time, out);
         self.log
             .push((from, time, out.iter().map(|s| s.id).collect()));
-        out
     }
     fn wake(&mut self, target: RobotId, time: f64) -> Result<(), freezetag::sim::SimError> {
         self.inner.wake(target, time)

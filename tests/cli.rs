@@ -270,6 +270,90 @@ fn sweep_emits_identical_json_for_any_thread_count() {
 }
 
 #[test]
+fn sweep_stats_profile_matches_full_and_is_thread_stable() {
+    let run = |profile: &str, threads: &str| {
+        dftp(&[
+            "sweep",
+            "--scenarios",
+            "disk:n=20:radius=6",
+            "--algs",
+            "grid,wave",
+            "--seeds",
+            "2",
+            "--plan-seed",
+            "9",
+            "--profile",
+            profile,
+            "--threads",
+            threads,
+        ])
+    };
+    let stats1 = run("stats", "1");
+    let stats4 = run("stats", "4");
+    assert!(stats1.status.success(), "stderr: {}", stderr(&stats1));
+    assert_eq!(
+        stdout(&stats1),
+        stdout(&stats4),
+        "stats-profile sweep output must be byte-identical across threads"
+    );
+    let text = stdout(&stats1);
+    assert!(text.contains("\"profile\": \"stats\""), "{text}");
+    assert!(text.contains("\"peak_mem_bytes\""), "{text}");
+    // The shared statistics agree with the full profile: compare after
+    // erasing the fields that legitimately differ (profile label and
+    // recorder memory).
+    let full = stdout(&run("full", "1"));
+    let strip = |t: &str| -> String {
+        t.lines()
+            .map(|l| {
+                let l = match l.find("\"peak_mem_bytes\"") {
+                    // The stats blob is the record's tail before `}`.
+                    Some(i) => &l[..i],
+                    None => l,
+                };
+                l.to_string()
+            })
+            .filter(|l| !l.contains("\"profile\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&text),
+        strip(&full),
+        "stats aggregates must match the full profile"
+    );
+}
+
+#[test]
+fn sweep_rejects_unknown_profile_and_adversarial_stats() {
+    let out = dftp(&["sweep", "--scenarios", "disk:n=5", "--profile", "lossy"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown profile 'lossy'"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let out = dftp(&[
+        "sweep",
+        "--scenarios",
+        "theorem2:n=20",
+        "--algs",
+        "separator",
+        "--profile",
+        "stats",
+    ]);
+    assert!(
+        !out.status.success(),
+        "adversarial + stats must be rejected"
+    );
+    assert!(
+        stderr(&out).contains("full profile"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn sweep_jsonl_has_one_record_per_job() {
     let out = dftp(&[
         "sweep",

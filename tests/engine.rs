@@ -83,17 +83,88 @@ fn bench_results_document_has_the_promised_schema() {
     assert_eq!(aggregates.len(), 4, "2 scenarios × 2 algorithms");
     let doc = emit::bench_results_json(&plan, &aggregates, 2, 1.25);
     for needle in [
-        "\"schema\": \"freezetag-bench-results/v1\"",
+        "\"schema\": \"freezetag-bench-results/v2\"",
         "\"plan\": \"engine-determinism\"",
         "\"seeds_per_cell\": 3",
+        "\"profile\": \"full\"",
         "\"threads\": 2",
         "\"total_wall_time_s\": 1.25",
+        "\"jobs_per_s\": 9.6",
         "\"scenario\":\"disk\"",
         "\"algorithm\":\"AGrid\"",
         "\"makespan\":{\"mean\":",
+        "\"peak_mem_bytes\":{\"mean\":",
         "\"p95\":",
         "\"wall_time_s\":",
     ] {
         assert!(doc.contains(needle), "missing `{needle}` in:\n{doc}");
     }
+}
+
+#[test]
+fn stats_profile_is_deterministic_and_matches_full_aggregates() {
+    use freezetag::exp::Profile;
+    let full = reference_plan();
+    let stats = reference_plan().profile(Profile::Stats);
+    let a = run_plan(&full, 2).expect("full plan runs");
+    let b1 = run_plan(&stats, 1).expect("stats plan runs");
+    let b4 = run_plan(&stats, 4).expect("stats plan runs");
+    // Stats output is byte-identical across thread counts.
+    for (x, y) in b1.iter().zip(&b4) {
+        let mut y = y.clone();
+        y.wall_time_s = x.wall_time_s;
+        assert_eq!(*x, y, "stats job {} differs across thread counts", x.job);
+    }
+    // And bit-identical to the full profile on every shared statistic.
+    for (f, s) in a.iter().zip(&b1) {
+        assert_eq!(f.makespan.to_bits(), s.makespan.to_bits(), "job {}", f.job);
+        assert_eq!(f.completion_time.to_bits(), s.completion_time.to_bits());
+        assert_eq!(f.max_energy.to_bits(), s.max_energy.to_bits());
+        assert_eq!(f.total_energy.to_bits(), s.total_energy.to_bits());
+        assert_eq!(f.looks, s.looks);
+        assert_eq!(f.all_awake, s.all_awake);
+        assert_eq!(s.xi_ell, None, "stats profile must skip ξ_ℓ");
+        assert!(
+            s.peak_mem_bytes < f.peak_mem_bytes,
+            "job {}: stats recorder ({}) not smaller than full ({})",
+            f.job,
+            s.peak_mem_bytes,
+            f.peak_mem_bytes
+        );
+    }
+}
+
+#[test]
+fn inadmissible_preset_tuple_is_a_clean_error_not_a_panic() {
+    // A scale family shrunk so far that its radius exceeds n·ℓ: the
+    // declared ℓ rounds to an inadmissible tuple, which must surface as a
+    // sweep error, not a worker-thread panic.
+    use freezetag::exp::Profile;
+    let plan = ExperimentPlan::new("bad-preset")
+        .scenario(
+            ScenarioSpec::new("uniform_1m")
+                .with("n", 10.0)
+                .with("radius", 500.0),
+        )
+        .algorithm(Algorithm::Grid)
+        .profile(Profile::Stats);
+    let err = run_plan(&plan, 1).unwrap_err();
+    assert!(
+        err.to_string().contains("inadmissible"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn stats_profile_rejects_adversarial_scenarios_up_front() {
+    use freezetag::exp::Profile;
+    let plan = ExperimentPlan::new("stats-adv")
+        .scenario(ScenarioSpec::new("theorem2"))
+        .algorithm(Algorithm::Separator)
+        .profile(Profile::Stats);
+    let err = run_plan(&plan, 1).unwrap_err();
+    assert!(
+        err.to_string().contains("full profile"),
+        "unexpected error: {err}"
+    );
 }

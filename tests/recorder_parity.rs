@@ -1,0 +1,96 @@
+//! Property tests pinning the recorder contract: a `StatsRecorder` run is
+//! bit-identical to the statistics derived from a `FullRecorder` run of
+//! the same algorithm on the same instance — makespan, completion time,
+//! total/max energy, per-robot wake times and per-robot travel — for all
+//! three distributed algorithms on random registry instances.
+//!
+//! This is what licenses the `--profile stats` execution path: the
+//! constant-memory recorder is not an approximation, it is the same
+//! arithmetic with the segments thrown away.
+
+use freezetag::core::{run_algorithm, Algorithm};
+use freezetag::instances::registry;
+use freezetag::sim::{ConcreteWorld, Recorder, RobotId, Sim, StatsRecorder, WorldView};
+use proptest::prelude::*;
+
+/// A random registry scenario: generator, parameters, seed.
+fn arb_scenario() -> impl Strategy<Value = (&'static str, Vec<(&'static str, f64)>, u64)> {
+    let disk = (6usize..28, 3.0f64..9.0, 0u64..1_000_000_000)
+        .prop_map(|(n, radius, seed)| ("disk", vec![("n", n as f64), ("radius", radius)], seed));
+    let lattice = (2usize..6, 1.0f64..2.0).prop_map(|(side, spacing)| {
+        (
+            "lattice",
+            vec![("side", side as f64), ("spacing", spacing)],
+            0u64,
+        )
+    });
+    let ring = (6usize..20, 4.0f64..8.0, 0u64..1_000_000_000)
+        .prop_map(|(n, radius, seed)| ("ring", vec![("n", n as f64), ("radius", radius)], seed));
+    let clusters = (2usize..4, 4usize..9, 0u64..1_000_000_000).prop_map(|(clusters, per, seed)| {
+        (
+            "clusters",
+            vec![("clusters", clusters as f64), ("per", per as f64)],
+            seed,
+        )
+    });
+    prop_oneof![disk, lattice, ring, clusters]
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    (0usize..3).prop_map(|i| [Algorithm::Separator, Algorithm::Grid, Algorithm::Wave][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stats_recorder_matches_full_recorder_bitwise(
+        (generator, params, seed) in arb_scenario(),
+        alg in arb_algorithm(),
+    ) {
+        let params: registry::ParamMap =
+            params.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let inst = registry::build_instance(generator, &params, seed).expect("builds");
+        let tuple = inst.admissible_tuple();
+
+        let mut full = Sim::new(ConcreteWorld::new(&inst));
+        run_algorithm(&mut full, &tuple, alg);
+        let (world_full, schedule, _) = full.into_parts();
+
+        let mut stats: Sim<ConcreteWorld, StatsRecorder> =
+            Sim::with_stats(ConcreteWorld::new(&inst));
+        run_algorithm(&mut stats, &tuple, alg);
+        let looks_stats = stats.world().look_count();
+        prop_assert_eq!(world_full.look_count(), looks_stats);
+        let (_, rec, _) = stats.into_recorder_parts();
+
+        // Aggregates, bit for bit.
+        prop_assert_eq!(schedule.makespan().to_bits(), rec.makespan().to_bits());
+        prop_assert_eq!(
+            schedule.completion_time().to_bits(),
+            rec.completion_time().to_bits()
+        );
+        prop_assert_eq!(schedule.max_energy().to_bits(), rec.max_energy().to_bits());
+        prop_assert_eq!(
+            schedule.total_energy().to_bits(),
+            rec.total_energy().to_bits()
+        );
+        prop_assert_eq!(schedule.active_count(), rec.active_count());
+        prop_assert_eq!(schedule.wakes(), rec.wakes());
+
+        // Per-robot wake times and travel, bit for bit.
+        for i in 0..=inst.n() {
+            let r = RobotId::from_index(i);
+            let (full_wake, full_travel) = match schedule.timeline(r) {
+                Some(tl) => (Some(tl.start_time()), Some(tl.travel())),
+                None => (None, None),
+            };
+            prop_assert_eq!(full_wake.map(f64::to_bits), rec.wake_time(r).map(f64::to_bits));
+            prop_assert_eq!(full_travel.map(f64::to_bits), rec.travel(r).map(f64::to_bits));
+        }
+
+        // The constant-memory recorder is never larger than the full one
+        // (equality only on degenerate no-move runs, which these are not).
+        prop_assert!(rec.memory_bytes() < schedule.memory_bytes());
+    }
+}
