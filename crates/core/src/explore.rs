@@ -11,6 +11,85 @@ use freezetag_geometry::{sweep, Point, Rect};
 use freezetag_sim::{Recorder, Sighting, Sim, WorldView};
 use std::collections::BTreeMap;
 
+/// Drives the *kinematic* half of an exploration — the sweep trajectory is
+/// oblivious (snapshot positions depend only on `rect`, never on what is
+/// seen), which is what makes the sensing half batchable: every member
+/// sweeps its strip in boustrophedon order and gathers at `endpoint`
+/// (synchronized), while the `(position, arrival time)` of each would-be
+/// snapshot is **appended** to `queries` in the exact order the sequential
+/// loop would have looked.
+///
+/// Callers resolve the accumulated queries with [`Sim::look_many_into`] —
+/// possibly pooling several explorations into one batch (a separator ring,
+/// a whole wave slot). Because no wake is committed between the moves of
+/// an exploration, deferring the looks to after the moves returns exactly
+/// the sightings of the interleaved move/look loop, on every world.
+///
+/// # Panics
+///
+/// Panics if any team member is asleep (a bug in the calling algorithm).
+pub(crate) fn sweep_queries<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
+    team: &Team,
+    rect: &Rect,
+    endpoint: Point,
+    queries: &mut Vec<(Point, f64)>,
+) {
+    let strips = rect.horizontal_strips(team.len());
+    for (i, &robot) in team.members().iter().enumerate() {
+        // Teams may outnumber strips only when len > strips (never: strips
+        // = len); each member sweeps exactly one strip.
+        let strip = &strips[i];
+        for snap in sweep::snapshot_positions(strip) {
+            let t = sim.move_to(robot, snap);
+            queries.push((snap, t));
+        }
+        sim.move_to(robot, endpoint);
+    }
+    team.sync(sim);
+}
+
+/// Deduplicates a concatenated run of sightings by robot id (last sighting
+/// wins, as repeated `BTreeMap` inserts did in the interleaved loop —
+/// initial positions never change, so duplicates are identical anyway);
+/// returns them in id order, matching the old per-look insert order.
+pub(crate) fn dedup_sightings(flat: &[Sighting]) -> Vec<Sighting> {
+    let mut seen: BTreeMap<freezetag_sim::RobotId, Sighting> = BTreeMap::new();
+    for s in flat {
+        seen.insert(s.id, *s);
+    }
+    seen.into_values().collect()
+}
+
+/// Prefix sums over per-query sighting counts (as filled by
+/// [`Sim::look_many_into`]): `offsets[i]..offsets[i + 1]` is query `i`'s
+/// slice of the concatenated sighting buffer, so a caller that pooled
+/// several explorations into one batch can split the result back per
+/// exploration.
+pub(crate) fn sighting_offsets(counts: &[u32]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c as usize;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Reusable query/sighting/count buffers of one [`explore`] call.
+type ExploreScratch = (Vec<(Point, f64)>, Vec<Sighting>, Vec<u32>);
+
+thread_local! {
+    /// Per-thread scratch for [`explore`]'s query/sighting/count buffers:
+    /// `DFSampling` issues thousands of small ball explorations per run,
+    /// and reusing the buffers keeps that steady-state loop allocation-free
+    /// (the property the pre-batching explore had with its single sighting
+    /// buffer).
+    static EXPLORE_SCRATCH: std::cell::RefCell<ExploreScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
 /// Explores `rect` with the whole team, then gathers everyone at
 /// `endpoint` (synchronized). Returns all sleeping robots observed during
 /// the sweep, deduplicated, in id order.
@@ -18,6 +97,10 @@ use std::collections::BTreeMap;
 /// The returned sightings may include robots slightly *outside* `rect`
 /// (unit vision bleeds over the border); callers filter by their region of
 /// responsibility.
+///
+/// Internally this is [`sweep_queries`] followed by one batched
+/// [`Sim::look_many_into`], so the snapshots of a single exploration
+/// already fan out over the sim's pool on pure-sensing worlds.
 ///
 /// # Panics
 ///
@@ -28,26 +111,13 @@ pub(crate) fn explore<W: WorldView, R: Recorder>(
     rect: &Rect,
     endpoint: Point,
 ) -> Vec<Sighting> {
-    let strips = rect.horizontal_strips(team.len());
-    let mut seen: BTreeMap<freezetag_sim::RobotId, Sighting> = BTreeMap::new();
-    // One sighting buffer for the whole sweep: the look loop below is the
-    // hottest path of every algorithm and must not allocate per snapshot.
-    let mut sightings: Vec<Sighting> = Vec::new();
-    for (i, &robot) in team.members().iter().enumerate() {
-        // Teams may outnumber strips only when len > strips (never: strips
-        // = len); each member sweeps exactly one strip.
-        let strip = &strips[i];
-        for snap in sweep::snapshot_positions(strip) {
-            sim.move_to(robot, snap);
-            sim.look_into(robot, &mut sightings);
-            for s in &sightings {
-                seen.insert(s.id, *s);
-            }
-        }
-        sim.move_to(robot, endpoint);
-    }
-    team.sync(sim);
-    seen.into_values().collect()
+    EXPLORE_SCRATCH.with(|scratch| {
+        let (queries, flat, counts) = &mut *scratch.borrow_mut();
+        queries.clear();
+        sweep_queries(sim, team, rect, endpoint, queries);
+        sim.look_many_into(queries, flat, counts);
+        dedup_sightings(flat)
+    })
 }
 
 /// Theoretical duration bound for [`explore`]: entry leg + strip sweep +

@@ -24,7 +24,7 @@
 //!   square (possible when `AWave` injects a foreign team) are dealt
 //!   round-robin to the quadrants that still have work.
 
-use crate::explore::explore;
+use crate::explore::{dedup_sightings, sighting_offsets, sweep_queries};
 use crate::knowledge::Knowledge;
 use crate::sampling::{df_sampling, SamplingOutcome};
 use crate::team::Team;
@@ -196,11 +196,27 @@ fn rounds<W: WorldView, R: Recorder>(
     for (ti, mut t) in subteams.into_iter().enumerate() {
         for qi in (0..4).filter(|q| q % n_sub == ti) {
             let quad = quads[qi];
-            // (iii) Exploration of sep(quad).
+            // (iii) Exploration of sep(quad): the four ring rectangles
+            // have oblivious sweep trajectories, so their moves are driven
+            // first and the ring's sensing queries resolve as one batch on
+            // the sim's pool (per-rectangle slices recovered afterwards).
+            // No wake happens between the sweeps, so this is bit-identical
+            // to exploring the rectangles one at a time — on every world.
             let sep = quad.separator(params.ell);
             let t0 = t.time(sim);
+            let mut queries: Vec<(Point, f64)> = Vec::new();
+            let mut ranges: Vec<(usize, usize)> = Vec::new();
             for rect in sep.rectangles() {
-                for s in explore(sim, &t, &rect, rect.min()) {
+                let q_lo = queries.len();
+                sweep_queries(sim, &t, &rect, rect.min(), &mut queries);
+                ranges.push((q_lo, queries.len()));
+            }
+            let mut flat = Vec::new();
+            let mut counts = Vec::new();
+            sim.look_many_into(&queries, &mut flat, &mut counts);
+            let offsets = sighting_offsets(&counts);
+            for &(q_lo, q_hi) in &ranges {
+                for s in dedup_sightings(&flat[offsets[q_lo]..offsets[q_hi]]) {
                     knowledge.note_sighting(s.id, s.pos);
                 }
             }

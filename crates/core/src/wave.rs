@@ -119,10 +119,7 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
     let mut prev_wake_len = sim.wakes().len();
     while !frontier.is_empty() {
         // Teams form at the lower-left corner of each populated square.
-        let mut groups: BTreeMap<CellCoord, Vec<RobotId>> = BTreeMap::new();
-        for &rb in &frontier {
-            groups.entry(cell_of(sim.pos(rb))).or_default().push(rb);
-        }
+        let groups = crate::grid::bucket_by_cell(sim, &frontier, &cell_of);
         // Only teams of at least 4ℓ act (Theorem 5's progress argument
         // guarantees the most populated square has that many).
         let mut teams: BTreeMap<CellCoord, Team> = BTreeMap::new();

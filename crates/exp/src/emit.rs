@@ -241,7 +241,8 @@ pub fn bench_results_json(
     format!(
         "{{\n  \"schema\": \"freezetag-bench-results/v2\",\n  \"plan\": \"{}\",\n  \
          \"plan_seed\": {},\n  \"seeds_per_cell\": {},\n  \"profile\": \"{}\",\n  \
-         \"jobs\": {},\n  \"threads\": {},\n  \"total_wall_time_s\": {},\n  \
+         \"jobs\": {},\n  \"threads\": {},\n  \"sim_threads\": {},\n  \
+         \"total_wall_time_s\": {},\n  \
          \"jobs_per_s\": {},\n  \"groups\": [\n{}\n  ]\n}}\n",
         escape(&plan.name),
         plan.plan_seed,
@@ -249,6 +250,7 @@ pub fn bench_results_json(
         plan.profile,
         jobs,
         threads,
+        plan.sim_threads,
         num(total_wall_time_s),
         num(jobs_per_s),
         groups_json(aggregates, true)
@@ -335,6 +337,7 @@ mod tests {
         let text = bench_results_json(&plan, &aggs, 4, 0.5);
         assert!(text.contains("freezetag-bench-results/v2"));
         assert!(text.contains("\"threads\": 4"));
+        assert!(text.contains("\"sim_threads\": 1"));
         assert!(text.contains("\"wall_time_s\":0.5"));
         assert!(text.contains("\"jobs_per_s\": 4"), "{text}");
         assert!(text.contains("\"profile\": \"full\""), "{text}");

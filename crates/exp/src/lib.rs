@@ -9,7 +9,10 @@
 //! centralized wake-tree baselines, or the exact small-`n` optimum), and a
 //! number of seeded repetitions per cell. [`run_plan`] executes the full
 //! cross-product `scenarios × algorithms × seeds` on a `std::thread`
-//! worker pool; every job draws its seed deterministically via
+//! worker pool, splitting the core budget between inter-job workers and
+//! each job's deterministic `sim_threads`-wide intra-job pool (see
+//! [`inter_job_workers`] and `freezetag_sim::ParPool`); every job draws
+//! its seed deterministically via
 //! [`derive_seed`] from `(plan_seed, scenario, repetition)` — deliberately
 //! *not* from the algorithm, so all algorithms of a cell run on the
 //! identical instance (paired comparisons) — and the results, like the
@@ -54,4 +57,7 @@ pub mod runner;
 pub use agg::{aggregate, Aggregate, Stats};
 pub use error::ExpError;
 pub use plan::{derive_seed, AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
-pub use runner::{run_plan, run_single, run_single_stats, JobResult, SingleRun, StatsRun};
+pub use runner::{
+    inter_job_workers, run_plan, run_single, run_single_stats, run_single_stats_with,
+    run_single_with, JobResult, SingleRun, StatsRun,
+};

@@ -251,6 +251,12 @@ pub struct ExperimentPlan {
     pub plan_seed: u64,
     /// Recorder profile for the simulated jobs.
     pub profile: Profile,
+    /// Intra-job parallelism: every simulated job runs on a deterministic
+    /// `ParPool` of this many threads (1 = sequential, the default). All
+    /// job results are bit-identical for any value — the pool only fans
+    /// out pure batches with order-preserving merges — so this trades
+    /// inter-job for intra-job parallelism without touching output.
+    pub sim_threads: usize,
 }
 
 impl ExperimentPlan {
@@ -263,6 +269,7 @@ impl ExperimentPlan {
             seeds: 1,
             plan_seed: 1,
             profile: Profile::Full,
+            sim_threads: 1,
         }
     }
 
@@ -298,6 +305,14 @@ impl ExperimentPlan {
     #[must_use]
     pub fn profile(mut self, profile: Profile) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Sets the per-job intra-job parallelism (builder style); must be at
+    /// least 1 (checked by [`ExperimentPlan::validate`]).
+    #[must_use]
+    pub fn sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
         self
     }
 
@@ -345,6 +360,9 @@ impl ExperimentPlan {
         }
         if self.seeds == 0 {
             return Err(ExpError::InvalidPlan("seeds must be >= 1".into()));
+        }
+        if self.sim_threads == 0 {
+            return Err(ExpError::InvalidPlan("sim_threads must be >= 1".into()));
         }
         for spec in &self.scenarios {
             let info = registry::validate(&spec.generator, &spec.params)
@@ -484,6 +502,17 @@ mod tests {
             .algorithm(Algorithm::Grid)
             .seeds(0);
         assert!(zero_seeds.validate().is_err());
+    }
+
+    #[test]
+    fn sim_threads_defaults_to_one_and_rejects_zero() {
+        let plan = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("disk"))
+            .algorithm(Algorithm::Grid);
+        assert_eq!(plan.sim_threads, 1);
+        assert!(plan.clone().sim_threads(4).validate().is_ok());
+        let err = plan.sim_threads(0).validate().unwrap_err();
+        assert!(err.to_string().contains("sim_threads"), "{err}");
     }
 
     #[test]

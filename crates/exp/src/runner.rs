@@ -11,8 +11,8 @@ use freezetag_geometry::Point;
 use freezetag_instances::registry::{self, Built};
 use freezetag_instances::{AdmissibleTuple, Instance};
 use freezetag_sim::{
-    validate, AdversarialWorld, ConcreteWorld, Recorder, RobotId, Schedule, Sim, ValidationOptions,
-    WorldView,
+    validate, AdversarialWorld, ConcreteWorld, ParPool, Recorder, RobotId, Schedule, Sim,
+    ValidationOptions, WorldView,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -102,15 +102,23 @@ pub struct SingleRun {
 /// [`ExpError::InvalidPlan`] when a declared `ℓ` rounds to an inadmissible
 /// tuple for the built instance (e.g. a shrunken scale family whose radius
 /// exceeds `nℓ`) — a clean sweep error instead of a worker panic.
-fn tuple_for(spec: &ScenarioSpec, inst: &Instance) -> Result<AdmissibleTuple, ExpError> {
+fn tuple_for(
+    spec: &ScenarioSpec,
+    inst: &Instance,
+    pool: &ParPool,
+) -> Result<AdmissibleTuple, ExpError> {
     match registry::preset_ell(&spec.generator, &spec.params) {
         Some(ell) => {
             let src = inst.source();
-            let rho_star = inst
-                .positions()
-                .iter()
-                .map(|p| p.dist(src))
-                .fold(0.0, f64::max);
+            // O(n) radius scan, batched on the pool: f64::max is exactly
+            // associative, so the reduction is bit-identical to the
+            // sequential fold.
+            let rho_star = pool.max_f64(
+                inst.positions(),
+                freezetag_sim::par::POINT_BATCH,
+                0.0,
+                |p| p.dist(src),
+            );
             AdmissibleTuple::rounded(ell, rho_star, inst.n())
                 .map_err(|e| ExpError::InvalidPlan(format!("scenario '{}': {e}", spec.name)))
         }
@@ -149,9 +157,10 @@ fn single_concrete(
     inst: Instance,
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
+    pool: ParPool,
 ) -> Result<SingleRun, ExpError> {
-    let tuple = tuple_for(spec, &inst)?;
-    let mut sim = Sim::new(ConcreteWorld::new(&inst));
+    let tuple = tuple_for(spec, &inst, &pool)?;
+    let mut sim = Sim::new(ConcreteWorld::with_pool(&inst, &pool)).with_pool(pool);
     dispatch(&mut sim, &tuple, algorithm, strategy)?;
     let looks = sim.world().look_count();
     let (_, schedule, trace) = sim.into_parts();
@@ -201,9 +210,13 @@ fn single_adversarial(
     layout: freezetag_instances::adversarial::AdversarialLayout,
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
+    pool: ParPool,
 ) -> Result<SingleRun, ExpError> {
     let tuple = AdmissibleTuple::new(layout.ell, layout.rho, layout.n());
-    let mut sim = Sim::new(AdversarialWorld::new(layout));
+    // Adversarial sensing is impure (look history is state), so the pool
+    // only accelerates world construction and frontier bucketing here —
+    // which keeps the run identical at any `sim_threads`.
+    let mut sim = Sim::new(AdversarialWorld::with_pool(layout, &pool)).with_pool(pool);
     dispatch(&mut sim, &tuple, algorithm, strategy)?;
     let all_awake = sim.world().all_awake();
     let looks = sim.world().look_count();
@@ -271,6 +284,22 @@ fn single_adversarial(
 /// combination (centralized baselines have no schedule, so only
 /// [`AlgSpec::Distributed`] is accepted here).
 pub fn run_single(spec: &ScenarioSpec, alg: AlgSpec, seed: u64) -> Result<SingleRun, ExpError> {
+    run_single_with(spec, alg, seed, ParPool::sequential())
+}
+
+/// [`run_single`] with an explicit [`ParPool`] for deterministic intra-run
+/// parallelism — the `--sim-threads` execution path. The returned run is
+/// bit-identical for any pool width.
+///
+/// # Errors
+///
+/// As [`run_single`].
+pub fn run_single_with(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+    pool: ParPool,
+) -> Result<SingleRun, ExpError> {
     let AlgSpec::Distributed {
         algorithm,
         strategy,
@@ -282,8 +311,10 @@ pub fn run_single(spec: &ScenarioSpec, alg: AlgSpec, seed: u64) -> Result<Single
         )));
     };
     match registry::build(&spec.generator, &spec.params, seed)? {
-        Built::Concrete(inst) => single_concrete(&spec.name, spec, inst, algorithm, strategy),
-        Built::Adversarial(layout) => single_adversarial(&spec.name, layout, algorithm, strategy),
+        Built::Concrete(inst) => single_concrete(&spec.name, spec, inst, algorithm, strategy, pool),
+        Built::Adversarial(layout) => {
+            single_adversarial(&spec.name, layout, algorithm, strategy, pool)
+        }
     }
 }
 
@@ -327,6 +358,24 @@ pub fn run_single_stats(
     alg: AlgSpec,
     seed: u64,
 ) -> Result<StatsRun, ExpError> {
+    run_single_stats_with(spec, alg, seed, ParPool::sequential())
+}
+
+/// [`run_single_stats`] with an explicit [`ParPool`] for deterministic
+/// intra-run parallelism — the `--profile stats --sim-threads` execution
+/// path that turns one 10⁶-robot job from one-core-bound into
+/// hardware-bound. Aggregates (including `peak_mem_bytes`) are
+/// bit-identical for any pool width.
+///
+/// # Errors
+///
+/// As [`run_single_stats`].
+pub fn run_single_stats_with(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+    pool: ParPool,
+) -> Result<StatsRun, ExpError> {
     let AlgSpec::Distributed {
         algorithm,
         strategy,
@@ -339,10 +388,10 @@ pub fn run_single_stats(
     };
     let inst = registry::build_instance(&spec.generator, &spec.params, seed)
         .map_err(|e| ExpError::Registry(format!("scenario '{}': {e}", spec.name)))?;
-    let tuple = tuple_for(spec, &inst)?;
-    let world = ConcreteWorld::new(&inst);
+    let tuple = tuple_for(spec, &inst, &pool)?;
+    let world = ConcreteWorld::with_pool(&inst, &pool);
     drop(inst); // the world owns its own flat copy; free the Vec<Point>
-    let mut sim = Sim::with_stats(world);
+    let mut sim = Sim::with_stats(world).with_pool(pool);
     dispatch(&mut sim, &tuple, algorithm, strategy)?;
     let looks = sim.world().look_count();
     let all_awake = sim.world().all_awake();
@@ -397,13 +446,14 @@ fn central_job(
 
 fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpError> {
     let spec = &plan.scenarios[job.scenario];
+    let pool = ParPool::new(plan.sim_threads.max(1));
     let generator = registry::lookup(&spec.generator)
         .map(|g| g.name.to_string())
         .unwrap_or_else(|| spec.generator.clone());
     let started = Instant::now();
     let result = match job.algorithm {
         AlgSpec::Distributed { .. } if plan.profile == Profile::Stats => {
-            let run = run_single_stats(spec, job.algorithm, job.seed)?;
+            let run = run_single_stats_with(spec, job.algorithm, job.seed, pool)?;
             JobResult {
                 job: job.index,
                 scenario: spec.name.clone(),
@@ -426,7 +476,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
             }
         }
         AlgSpec::Distributed { .. } => {
-            let run = run_single(spec, job.algorithm, job.seed)?;
+            let run = run_single_with(spec, job.algorithm, job.seed, pool)?;
             JobResult {
                 job: job.index,
                 scenario: spec.name.clone(),
@@ -481,10 +531,26 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
     })
 }
 
-/// Executes the plan's full cross-product on `threads` worker threads
-/// (clamped to `[1, job count]`) and returns the results in job order.
-/// All result fields except `wall_time_s` are independent of the thread
-/// count.
+/// How many inter-job workers a plan gets from a total core budget of
+/// `threads`, given its per-job `sim_threads`: the scheduler treats
+/// `threads` as the overall budget and divides it (rounding *down*, so
+/// the budget is never exceeded by adding workers) between the two axes —
+/// `--threads 8 --sim-threads 4` runs 2 jobs at a time on 4 cores each
+/// instead of oversubscribing 32 threads onto 8 cores, and
+/// `--threads 7 --sim-threads 2` runs 3 workers (6 threads), not 4 (8).
+/// Always at least 1 worker and never more than `jobs` — so the one case
+/// that exceeds the budget is an explicit `sim_threads > threads`, where
+/// the single job still gets its full requested width.
+pub fn inter_job_workers(threads: usize, sim_threads: usize, jobs: usize) -> usize {
+    let budget = threads.max(1);
+    (budget / sim_threads.max(1)).clamp(1, jobs.max(1))
+}
+
+/// Executes the plan's full cross-product on a worker pool and returns
+/// the results in job order. `threads` is the total core budget, split
+/// between inter-job workers and each job's `sim_threads`-wide intra-job
+/// pool by [`inter_job_workers`]. All result fields except `wall_time_s`
+/// are independent of both thread axes.
 ///
 /// # Errors
 ///
@@ -494,7 +560,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
 pub fn run_plan(plan: &ExperimentPlan, threads: usize) -> Result<Vec<JobResult>, ExpError> {
     plan.validate()?;
     let jobs = plan.jobs();
-    let threads = threads.clamp(1, jobs.len().max(1));
+    let threads = inter_job_workers(threads, plan.sim_threads, jobs.len());
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<JobResult, ExpError>>>> =
@@ -573,6 +639,31 @@ mod tests {
             y.wall_time_s = x.wall_time_s;
             assert_eq!(*x, y, "job {} differs across thread counts", x.job);
         }
+    }
+
+    #[test]
+    fn results_are_identical_for_any_sim_thread_count() {
+        let base = tiny_plan();
+        let a = run_plan(&base, 1).unwrap();
+        for sim_threads in [2, 4] {
+            let b = run_plan(&base.clone().sim_threads(sim_threads), 2).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                let mut y = y.clone();
+                y.wall_time_s = x.wall_time_s;
+                assert_eq!(*x, y, "job {} differs at sim_threads={sim_threads}", x.job);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_splits_the_core_budget_between_axes() {
+        assert_eq!(inter_job_workers(8, 4, 100), 2);
+        assert_eq!(inter_job_workers(8, 1, 100), 8);
+        assert_eq!(inter_job_workers(4, 8, 100), 1, "intra-job takes it all");
+        assert_eq!(inter_job_workers(7, 2, 100), 3, "rounds down: 6 <= 7");
+        assert_eq!(inter_job_workers(16, 1, 3), 3, "never exceeds job count");
+        assert_eq!(inter_job_workers(0, 0, 0), 1, "degenerate inputs clamp");
     }
 
     #[test]

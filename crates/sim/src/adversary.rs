@@ -1,3 +1,4 @@
+use crate::par::{ParPool, POINT_BATCH};
 use crate::{RobotId, Sighting, SimError, WorldView};
 use freezetag_geometry::Point;
 use freezetag_graph::GridIndex;
@@ -56,27 +57,38 @@ pub struct AdversarialWorld {
 impl AdversarialWorld {
     /// Builds the adversary for a layout.
     pub fn new(layout: AdversarialLayout) -> Self {
+        Self::with_pool(layout, &ParPool::sequential())
+    }
+
+    /// Builds the adversary with the per-disk candidate construction (a
+    /// pure function of each disk centre) fanned out over `pool` in
+    /// order-preserving batches — bit-identical to
+    /// [`AdversarialWorld::new`]. Sensing itself stays sequential: the
+    /// adaptive adversary's look history is state (see
+    /// [`WorldView::pure_sensing`]), so this world keeps the in-order
+    /// default of [`WorldView::look_batch_into`].
+    pub fn with_pool(layout: AdversarialLayout, pool: &ParPool) -> Self {
         let r = layout.disk_radius;
         let h = 2.0 * r / RES as f64;
-        let disks = layout
-            .centers
-            .iter()
-            .map(|&c| {
-                let mut candidates = Vec::new();
-                for i in 0..RES {
-                    for j in 0..RES {
-                        let p = Point::new(
-                            c.x - r + (i as f64 + 0.5) * h,
-                            c.y - r + (j as f64 + 0.5) * h,
-                        );
-                        if p.dist(c) <= r {
-                            candidates.push(p);
-                        }
+        let candidates_of = |c: Point| {
+            let mut candidates = Vec::new();
+            for i in 0..RES {
+                for j in 0..RES {
+                    let p = Point::new(
+                        c.x - r + (i as f64 + 0.5) * h,
+                        c.y - r + (j as f64 + 0.5) * h,
+                    );
+                    if p.dist(c) <= r {
+                        candidates.push(p);
                     }
                 }
-                DiskState::Hidden { candidates }
-            })
-            .collect();
+            }
+            DiskState::Hidden { candidates }
+        };
+        // ~RES² candidate points per disk: batch by disk count / RES².
+        let disks = pool.map_concat(&layout.centers, POINT_BATCH / (RES * RES), |chunk| {
+            chunk.iter().map(|&c| candidates_of(c)).collect::<Vec<_>>()
+        });
         let mut wake_times = vec![None; layout.centers.len() + 1];
         wake_times[0] = Some(0.0);
         let cell = layout.disk_radius.max(1.0);

@@ -2,13 +2,13 @@
 //!
 //! The main drivers in `freezetag-core` orchestrate robots from a global
 //! vantage point (fork/join over teams) while the restricted
-//! [`WorldView`](crate::WorldView) keeps them honest about *information*.
+//! [`WorldView`] keeps them honest about *information*.
 //! This module closes the remaining gap for *control*: a [`RobotProgram`]
 //! is a state machine owned by a single robot, which only ever sees its
 //! own clock, its own position, its snapshots, and the identities of
 //! co-located robots — exactly the paper's Look-Compute-Move robot. The
 //! [`EventSim`] engine schedules all programs on one event queue and
-//! records the same [`Schedule`](crate::Schedule) the validator checks.
+//! records the same [`Schedule`] the validator checks.
 //!
 //! `freezetag-core` ships `AGrid` in both styles and the test-suite checks
 //! the two produce the same makespan — evidence that the orchestrated

@@ -20,6 +20,13 @@
 //!    [`Schedule`]: timeline continuity, unit speed, motion only after
 //!    wake-up, wake co-location, full coverage, energy budgets.
 //!
+//! A fourth, orthogonal layer is **deterministic intra-job parallelism**
+//! ([`par`]): a [`ParPool`] of scoped threads that worlds and drivers use
+//! to fan pure batches of work (sensing queries, grid-build key passes)
+//! out over cores with an order-preserving merge, so a run's output is
+//! bit-identical at any thread count — see [`Sim::with_pool`] and
+//! [`WorldView::look_batch_into`].
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +48,7 @@ mod adversary;
 mod error;
 pub mod events;
 mod id;
+pub mod par;
 mod record;
 mod schedule;
 #[allow(clippy::module_inception)]
@@ -53,6 +61,7 @@ mod world;
 pub use adversary::AdversarialWorld;
 pub use error::SimError;
 pub use id::RobotId;
+pub use par::ParPool;
 pub use record::{FullRecorder, Recorder, StatsRecorder};
 pub use schedule::{Schedule, Segment, Timeline, WakeEvent};
 pub use sim::Sim;

@@ -1,5 +1,5 @@
 use crate::record::{FullRecorder, Recorder, StatsRecorder};
-use crate::{RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView};
+use crate::{ParPool, RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView};
 use freezetag_geometry::Point;
 
 /// The simulation driver: couples a [`WorldView`] (restricted sensing) with
@@ -34,6 +34,7 @@ pub struct Sim<W, R = FullRecorder> {
     world: W,
     recorder: R,
     trace: Trace,
+    pool: ParPool,
 }
 
 impl<W: WorldView> Sim<W> {
@@ -74,7 +75,30 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
             world,
             recorder,
             trace: Trace::new(),
+            pool: ParPool::sequential(),
         }
+    }
+
+    /// Attaches a [`ParPool`] for deterministic intra-run parallelism
+    /// (builder style). The pool only accelerates pure batched work —
+    /// sensing fan-out on pure-sensing worlds, frontier bucketing — so the
+    /// run's observable results are bit-identical for any pool width; the
+    /// default is sequential.
+    #[must_use]
+    pub fn with_pool(mut self, pool: ParPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The configured intra-run parallelism (1 = sequential, the
+    /// default). This is the `--sim-threads` value a sweep job runs with.
+    pub fn sim_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The pool batched operations run on (`Copy`; owns no threads).
+    pub fn pool(&self) -> ParPool {
+        self.pool
     }
 
     /// Read access to the world.
@@ -170,6 +194,25 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
     pub fn look_into(&mut self, robot: RobotId, out: &mut Vec<Sighting>) {
         let (pos, time) = (self.pos(robot), self.time(robot));
         self.world.look_into(pos, time, out);
+    }
+
+    /// Batched snapshots at explicit `(position, time)` pairs — the
+    /// sensing side of a sweep whose trajectory was already driven (see
+    /// `sweep` planning in the algorithms): clears and fills `out` with
+    /// every query's sightings concatenated in query order, and `counts`
+    /// with the per-query sighting counts, counting `queries.len()` looks.
+    ///
+    /// Equivalent to one [`Sim::look_into`] per query in order; on worlds
+    /// with pure sensing the queries fan out over the sim's [`ParPool`]
+    /// with an order-preserving merge, bit-identical at any thread count.
+    pub fn look_many_into(
+        &mut self,
+        queries: &[(Point, f64)],
+        out: &mut Vec<Sighting>,
+        counts: &mut Vec<u32>,
+    ) {
+        let pool = self.pool;
+        self.world.look_batch_into(queries, &pool, out, counts);
     }
 
     /// Wakes `target`, which must be co-located with `waker` (within
@@ -334,6 +377,31 @@ mod tests {
         assert_eq!(t, 3.0);
         assert_eq!(s.time(RobotId::SOURCE), 3.0);
         assert_eq!(s.time(r0), 3.0);
+    }
+
+    #[test]
+    fn sim_threads_default_and_builder() {
+        let s = sim();
+        assert_eq!(s.sim_threads(), 1);
+        assert!(s.pool().is_sequential());
+        let s = sim().with_pool(ParPool::new(3));
+        assert_eq!(s.sim_threads(), 3);
+    }
+
+    #[test]
+    fn look_many_matches_single_looks() {
+        let mut s = sim();
+        let queries = vec![
+            (Point::ORIGIN, 0.0),
+            (Point::new(4.5, 0.0), 0.0),
+            (Point::new(100.0, 100.0), 0.0),
+        ];
+        let (mut flat, mut counts) = (Vec::new(), Vec::new());
+        s.look_many_into(&queries, &mut flat, &mut counts);
+        assert_eq!(counts, vec![2, 1, 0]);
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[2].id, RobotId::sleeper(2));
+        assert_eq!(s.world().look_count(), 3);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::par::{ParPool, LOOK_BATCH, PAR_LOOK_MIN, POINT_BATCH};
 use crate::{RobotId, SimError};
 use freezetag_geometry::Point;
 use freezetag_graph::GridIndex;
@@ -44,6 +45,48 @@ pub trait WorldView {
         let mut out = Vec::new();
         self.look_into(from, time, &mut out);
         out
+    }
+
+    /// Whether sensing is a pure function of the committed wake state:
+    /// two `look`s with the same `(from, time)` and the same wake commits
+    /// in between return the same sightings, regardless of what other
+    /// `look`s happened. Concrete worlds qualify; the adaptive adversary
+    /// does **not** (every snapshot eliminates hiding candidates, so look
+    /// *history* is state). Drivers consult this before reordering or
+    /// fanning out sensing, e.g. `AGrid`'s slot-batched frontier
+    /// expansion.
+    fn pure_sensing(&self) -> bool {
+        false
+    }
+
+    /// Batched sensing: clears `out` and `counts`, then resolves every
+    /// query `(from, time)` of `queries` **in order**, appending each
+    /// query's sightings to `out` (concatenated) and its sighting count to
+    /// `counts` — exactly the result of calling [`WorldView::look_into`]
+    /// once per query in sequence, and counted as `queries.len()` looks.
+    ///
+    /// The provided implementation *is* that sequential loop, which is the
+    /// only sound order for impure-sensing worlds (see
+    /// [`WorldView::pure_sensing`]). Pure-sensing worlds override it to
+    /// fan the queries out over `pool` in fixed-size batches with an
+    /// order-preserving merge, which keeps the result bit-identical to the
+    /// sequential loop for any thread count.
+    fn look_batch_into(
+        &mut self,
+        queries: &[(Point, f64)],
+        pool: &ParPool,
+        out: &mut Vec<Sighting>,
+        counts: &mut Vec<u32>,
+    ) {
+        let _ = pool;
+        out.clear();
+        counts.clear();
+        let mut one = Vec::new();
+        for &(from, time) in queries {
+            self.look_into(from, time, &mut one);
+            counts.push(one.len() as u32);
+            out.extend_from_slice(&one);
+        }
     }
 
     /// Marks `target` awake at `time`.
@@ -143,12 +186,30 @@ pub struct ConcreteWorld {
 impl ConcreteWorld {
     /// Builds the world of an instance; only the source starts awake.
     pub fn new(instance: &Instance) -> Self {
+        Self::with_pool(instance, &ParPool::sequential())
+    }
+
+    /// Builds the world with the CSR grid construction's per-point key
+    /// pass fanned out over `pool` (order-preserving batches), producing
+    /// an index bit-identical to the sequential [`ConcreteWorld::new`].
+    pub fn with_pool(instance: &Instance, pool: &ParPool) -> Self {
         let n = instance.n();
         let mut wake_times = vec![f64::NAN; n + 1];
         wake_times[0] = 0.0;
         let mut awake = AwakeBits::new(n + 1);
         awake.set(0);
-        let index = GridIndex::build(instance.positions(), 1.0);
+        let positions = instance.positions();
+        let index = if pool.is_sequential() || positions.len() < POINT_BATCH {
+            GridIndex::build(positions, 1.0)
+        } else {
+            let keys = pool.map_concat(positions, POINT_BATCH, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&p| GridIndex::cell_key(p, 1.0))
+                    .collect::<Vec<_>>()
+            });
+            GridIndex::build_from_keys(positions, 1.0, &keys)
+        };
         ConcreteWorld {
             source: instance.source(),
             wake_times,
@@ -173,6 +234,30 @@ impl ConcreteWorld {
     pub fn memory_bytes(&self) -> usize {
         self.index.memory_bytes() + self.wake_times.len() * 8 + self.awake.0.len() * 8
     }
+
+    /// The pure core of a snapshot at `(from, time)`: appends the visible
+    /// sleeping robots (id order) to `out` using an external `scratch`.
+    /// Takes `&self` so batched sensing can run it from many workers
+    /// against the same committed wake state; does not bump `look_count`.
+    #[inline]
+    fn sense_at(&self, from: Point, time: f64, scratch: &mut Vec<usize>, out: &mut Vec<Sighting>) {
+        self.index.within_into(from, 1.0, scratch);
+        for &i in scratch.iter() {
+            // Visible iff still asleep at `time` (woken strictly later
+            // counts as asleep now).
+            let visible = if self.awake.get(i + 1) {
+                time < self.wake_times[i + 1] - freezetag_geometry::EPS
+            } else {
+                true
+            };
+            if visible {
+                out.push(Sighting {
+                    id: RobotId::sleeper(i),
+                    pos: self.index.point(i),
+                });
+            }
+        }
+    }
 }
 
 impl WorldView for ConcreteWorld {
@@ -188,23 +273,53 @@ impl WorldView for ConcreteWorld {
         self.looks += 1;
         out.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        self.index.within_into(from, 1.0, &mut scratch);
-        for &i in &scratch {
-            // Visible iff still asleep at `time` (woken strictly later
-            // counts as asleep now).
-            let visible = if self.awake.get(i + 1) {
-                time < self.wake_times[i + 1] - freezetag_geometry::EPS
-            } else {
-                true
-            };
-            if visible {
-                out.push(Sighting {
-                    id: RobotId::sleeper(i),
-                    pos: self.index.point(i),
-                });
-            }
-        }
+        self.sense_at(from, time, &mut scratch, out);
         self.scratch = scratch;
+    }
+
+    fn pure_sensing(&self) -> bool {
+        true
+    }
+
+    fn look_batch_into(
+        &mut self,
+        queries: &[(Point, f64)],
+        pool: &ParPool,
+        out: &mut Vec<Sighting>,
+        counts: &mut Vec<u32>,
+    ) {
+        self.looks += queries.len();
+        out.clear();
+        counts.clear();
+        if pool.is_sequential() || queries.len() < PAR_LOOK_MIN {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            for &(from, time) in queries {
+                let before = out.len();
+                self.sense_at(from, time, &mut scratch, out);
+                counts.push((out.len() - before) as u32);
+            }
+            self.scratch = scratch;
+            return;
+        }
+        // Fan out in fixed-size batches; sense_at is pure in the committed
+        // wake state, and the order-preserving merge makes the result
+        // bit-identical to the sequential loop above.
+        let this = &*self;
+        let parts = pool.map_batches(queries, LOOK_BATCH, |_, chunk| {
+            let mut scratch = Vec::new();
+            let mut sightings = Vec::new();
+            let mut chunk_counts = Vec::with_capacity(chunk.len());
+            for &(from, time) in chunk {
+                let before = sightings.len();
+                this.sense_at(from, time, &mut scratch, &mut sightings);
+                chunk_counts.push((sightings.len() - before) as u32);
+            }
+            (sightings, chunk_counts)
+        });
+        for (sightings, chunk_counts) in parts {
+            out.extend_from_slice(&sightings);
+            counts.extend_from_slice(&chunk_counts);
+        }
     }
 
     fn wake(&mut self, target: RobotId, time: f64) -> Result<(), SimError> {
@@ -328,6 +443,90 @@ mod tests {
         w.wake(RobotId::sleeper(1), 2.0).unwrap();
         assert_eq!(w.asleep_count(), scan(&w));
         assert_eq!(w.all_awake(), scan(&w) == 0);
+    }
+
+    #[test]
+    fn with_pool_builds_the_identical_world() {
+        let inst = Instance::new(
+            (0..3000)
+                .map(|i| Point::new((i % 55) as f64 * 0.4 + 0.2, (i / 55) as f64 * 0.4 + 0.2))
+                .collect(),
+        );
+        let mut a = ConcreteWorld::new(&inst);
+        let mut b = ConcreteWorld::with_pool(&inst, &ParPool::new(4));
+        for q in [Point::ORIGIN, Point::new(10.0, 8.0), Point::new(21.9, 21.0)] {
+            assert_eq!(a.look(q, 0.0), b.look(q, 0.0), "query {q}");
+        }
+        assert_eq!(a.memory_bytes(), b.memory_bytes());
+    }
+
+    #[test]
+    fn batched_sensing_matches_sequential_looks_and_counts_them() {
+        let inst = Instance::new(
+            (0..4000)
+                .map(|i| Point::new((i % 64) as f64 * 0.3 + 0.1, (i / 64) as f64 * 0.3 + 0.1))
+                .collect(),
+        );
+        // Wake a few robots at staggered times so visibility windows are
+        // exercised on both paths.
+        let build = || {
+            let mut w = ConcreteWorld::new(&inst);
+            for i in (0..4000).step_by(7) {
+                w.wake(RobotId::sleeper(i), (i % 13) as f64).unwrap();
+            }
+            w
+        };
+        let queries: Vec<(Point, f64)> = (0..3000)
+            .map(|i| {
+                (
+                    Point::new((i % 60) as f64 * 0.33, (i / 60) as f64 * 0.37),
+                    (i % 17) as f64,
+                )
+            })
+            .collect();
+        assert!(queries.len() >= PAR_LOOK_MIN, "must exercise the fan-out");
+        let mut seq_w = build();
+        let (mut seq_out, mut seq_counts) = (Vec::new(), Vec::new());
+        seq_w.look_batch_into(
+            &queries,
+            &ParPool::sequential(),
+            &mut seq_out,
+            &mut seq_counts,
+        );
+        // The sequential batch equals per-query look_into calls.
+        let mut loop_w = build();
+        let mut one = Vec::new();
+        let mut flat = Vec::new();
+        for &(from, time) in &queries {
+            loop_w.look_into(from, time, &mut one);
+            flat.extend_from_slice(&one);
+        }
+        assert_eq!(seq_out, flat);
+        assert_eq!(seq_w.look_count(), loop_w.look_count());
+        assert_eq!(
+            seq_counts.iter().map(|&c| c as usize).sum::<usize>(),
+            flat.len()
+        );
+        // And the parallel batch equals the sequential batch exactly.
+        for threads in [2, 4] {
+            let mut par_w = build();
+            let (mut par_out, mut par_counts) = (Vec::new(), Vec::new());
+            par_w.look_batch_into(
+                &queries,
+                &ParPool::new(threads),
+                &mut par_out,
+                &mut par_counts,
+            );
+            assert_eq!(par_out, seq_out, "threads={threads}");
+            assert_eq!(par_counts, seq_counts, "threads={threads}");
+            assert_eq!(par_w.look_count(), seq_w.look_count());
+        }
+    }
+
+    #[test]
+    fn pure_sensing_flags() {
+        let w = world();
+        assert!(w.pure_sensing());
     }
 
     #[test]

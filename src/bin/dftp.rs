@@ -13,7 +13,8 @@
 //! Generators are resolved through the scenario registry
 //! (`freezetag::instances::registry`); unknown `--options` are usage
 //! errors, not silently ignored. Everything is deterministic given
-//! `--seed` (or, for sweeps, `--plan-seed` — for any `--threads`).
+//! `--seed` (or, for sweeps, `--plan-seed` — byte-identical output for
+//! any `--threads` *and* any `--sim-threads`).
 
 use freezetag::core::{bounds, run_algorithm, solve, Algorithm};
 use freezetag::exp::{
@@ -55,7 +56,8 @@ fn usage() -> String {
   dftp generate --gen <GEN> [GEN OPTIONS] [--out <FILE>]
   dftp sweep    --scenarios <SPEC[,SPEC...]> [--algs <A[,A...]>]
                 [--seeds <K>] [--plan-seed <S>] [--threads <N>]
-                [--profile <full|stats>] [--format <json|jsonl|csv>]
+                [--sim-threads <N>] [--profile <full|stats>]
+                [--format <json|jsonl|csv>]
                 [--out <FILE>] [--bench-json <FILE>] [--name <NAME>]
 
 sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
@@ -65,6 +67,9 @@ sweep profiles:       full  = complete schedules + validation (default)
                       stats = constant memory per robot, no validation —
                               required for the large-n scenario families
                               (uniform_1m, grid_1m, skewed_500k)
+sweep parallelism:    --threads     = total core budget (inter-job workers)
+                      --sim-threads = deterministic cores *within* each job;
+                              output is byte-identical for any combination
 
 generators (defaults in parentheses; unseeded generators ignore --seed):
 ",
@@ -323,6 +328,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             "seeds",
             "plan-seed",
             "threads",
+            "sim-threads",
             "profile",
             "format",
             "out",
@@ -351,10 +357,15 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         None => Profile::Full,
         Some(text) => Profile::parse(text).map_err(|e| e.to_string())?,
     };
+    let sim_threads = get_u(opts, "sim-threads", 1)?;
+    if sim_threads == 0 {
+        return Err("--sim-threads must be at least 1 (use 1 for a sequential job)".to_string());
+    }
     let mut plan = ExperimentPlan::new(opts.get("name").map(String::as_str).unwrap_or("sweep"))
         .seeds(get_u(opts, "seeds", 3)?)
         .plan_seed(get_u(opts, "plan-seed", 1)? as u64)
-        .profile(profile);
+        .profile(profile)
+        .sim_threads(sim_threads);
     plan.scenarios = scenarios;
     plan.algorithms = algorithms;
     let threads = get_u(opts, "threads", 1)?;
@@ -380,10 +391,13 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         Some(path) => {
             std::fs::write(path, &payload).map_err(|e| e.to_string())?;
             print!("{}", emit::aggregates_to_markdown(&aggregates));
+            let workers =
+                freezetag::exp::inter_job_workers(threads, plan.sim_threads, results.len());
             println!(
-                "\n{} jobs on {} thread(s) in {:.2}s — wrote {path}",
+                "\n{} jobs on {} worker(s) x {} sim thread(s) in {:.2}s — wrote {path}",
                 results.len(),
-                threads.clamp(1, results.len().max(1)),
+                workers,
+                plan.sim_threads,
                 total_wall
             );
         }

@@ -325,6 +325,74 @@ fn sweep_stats_profile_matches_full_and_is_thread_stable() {
 }
 
 #[test]
+fn sweep_emits_identical_json_for_any_sim_thread_count() {
+    let run = |sim_threads: &str| {
+        dftp(&[
+            "sweep",
+            "--scenarios",
+            "uniform_1m:n=5000:radius=30,disk:n=25:radius=6",
+            "--algs",
+            "grid",
+            "--seeds",
+            "2",
+            "--plan-seed",
+            "11",
+            "--profile",
+            "stats",
+            "--sim-threads",
+            sim_threads,
+        ])
+    };
+    let one = run("1");
+    assert!(one.status.success(), "stderr: {}", stderr(&one));
+    for sim_threads in ["2", "4"] {
+        let par = run(sim_threads);
+        assert!(par.status.success(), "stderr: {}", stderr(&par));
+        assert_eq!(
+            stdout(&one),
+            stdout(&par),
+            "sweep output must be byte-identical at --sim-threads {sim_threads}"
+        );
+    }
+    // And the two parallelism axes compose without touching output.
+    let both = dftp(&[
+        "sweep",
+        "--scenarios",
+        "uniform_1m:n=5000:radius=30,disk:n=25:radius=6",
+        "--algs",
+        "grid",
+        "--seeds",
+        "2",
+        "--plan-seed",
+        "11",
+        "--profile",
+        "stats",
+        "--threads",
+        "2",
+        "--sim-threads",
+        "2",
+    ]);
+    assert!(both.status.success(), "stderr: {}", stderr(&both));
+    assert_eq!(stdout(&one), stdout(&both), "--threads x --sim-threads");
+}
+
+#[test]
+fn sweep_rejects_zero_sim_threads_cleanly() {
+    let out = dftp(&["sweep", "--scenarios", "disk:n=10", "--sim-threads", "0"]);
+    assert!(!out.status.success(), "--sim-threads 0 must be an error");
+    let err = stderr(&out);
+    assert!(
+        err.contains("--sim-threads must be at least 1"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("usage:"), "stderr: {err}");
+    assert!(
+        !err.contains("panicked"),
+        "must fail cleanly, not panic: {err}"
+    );
+}
+
+#[test]
 fn sweep_rejects_unknown_profile_and_adversarial_stats() {
     let out = dftp(&["sweep", "--scenarios", "disk:n=5", "--profile", "lossy"]);
     assert!(!out.status.success());
