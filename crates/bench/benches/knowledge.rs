@@ -1,0 +1,133 @@
+//! Criterion benchmark of the knowledge-store query shapes: the
+//! grid-indexed SoA `Knowledge` against the `BTreeMap` full-scan layout it
+//! replaced, on the two queries that dominate `DFSampling`'s inner loop —
+//! the `2ℓ`-radius next-move selection and the co-location probe — plus
+//! the rectangle scan behind `ASeparator`'s terminating rounds. The grid
+//! store must stay flat as the swarm grows; the map scan grows linearly
+//! (the quadratic term that kept `AWave`/`ASeparator` from 10⁵-robot
+//! runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezetag_core::knowledge::Knowledge;
+use freezetag_geometry::{Point, Rect};
+use freezetag_instances::generators::uniform_disk;
+use freezetag_sim::RobotId;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const ELL: f64 = 4.0;
+
+/// The pre-refactor layout, reproduced as the baseline.
+fn map_store(points: &[Point]) -> BTreeMap<RobotId, (Point, bool)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (RobotId::sleeper(i), (p, i % 7 == 0)))
+        .collect()
+}
+
+fn grid_store(points: &[Point]) -> Knowledge {
+    let mut k = Knowledge::with_cell_width(ELL);
+    for (i, &p) in points.iter().enumerate() {
+        k.note_sighting(RobotId::sleeper(i), p);
+        if i % 7 == 0 {
+            k.note_awake(RobotId::sleeper(i), p);
+        }
+    }
+    k
+}
+
+/// Query centres spread across the swarm.
+fn centres(radius: f64) -> Vec<Point> {
+    (0..64)
+        .map(|i| {
+            let a = i as f64 * 0.7;
+            let r = radius * ((i % 8) as f64 / 8.0);
+            Point::new(r * a.cos(), r * a.sin())
+        })
+        .collect()
+}
+
+fn bench_knowledge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knowledge");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let radius = 200.0 * (n as f64 / 100_000.0).sqrt();
+        let inst = uniform_disk(n, radius, 7);
+        let points = inst.positions();
+        let qs = centres(radius);
+
+        // Next-move shape: nearest in-region candidate within 2ℓ.
+        let map = map_store(points);
+        g.bench_with_input(BenchmarkId::new("nextmove_map_scan", n), &qs, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &q in qs {
+                    let best = map
+                        .iter()
+                        .filter(|(_, &(p, _))| p.dist(q) <= 2.0 * ELL + freezetag_geometry::EPS)
+                        .min_by(|(_, &(a, _)), (_, &(b, _))| {
+                            a.dist_sq(q).partial_cmp(&b.dist_sq(q)).expect("finite")
+                        });
+                    acc += best.map_or(0, |(id, _)| id.index());
+                }
+                black_box(acc)
+            });
+        });
+        let grid = grid_store(points);
+        g.bench_with_input(BenchmarkId::new("nextmove_grid", n), &qs, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &q in qs {
+                    let mut best: Option<(f64, usize)> = None;
+                    grid.for_each_known_within(q, 2.0 * ELL, |id, origin, _| {
+                        let d2 = origin.dist_sq(q);
+                        let idx = id.index();
+                        let better = match best {
+                            None => true,
+                            Some((bd2, bidx)) => d2 < bd2 || (d2 == bd2 && idx < bidx),
+                        };
+                        if better {
+                            best = Some((d2, idx));
+                        }
+                    });
+                    acc += best.map_or(0, |(_, idx)| idx);
+                }
+                black_box(acc)
+            });
+        });
+
+        // Terminating-round shape: all sleepers inside a square region.
+        let rect = Rect::with_size(
+            Point::new(-radius / 4.0, -radius / 4.0),
+            ELL * 8.0,
+            ELL * 8.0,
+        );
+        g.bench_with_input(BenchmarkId::new("region_map_scan", n), &rect, |b, rect| {
+            b.iter(|| {
+                let items: Vec<RobotId> = map
+                    .iter()
+                    .filter(|(_, &(p, awake))| !awake && rect.contains(p))
+                    .map(|(&id, _)| id)
+                    .collect();
+                black_box(items.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("region_grid", n), &rect, |b, rect| {
+            b.iter(|| {
+                let mut items: Vec<RobotId> = Vec::new();
+                grid.for_each_known_in_rect(rect, |id, origin, awake| {
+                    if !awake && rect.contains(origin) {
+                        items.push(id);
+                    }
+                });
+                items.sort_unstable();
+                black_box(items.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_knowledge);
+criterion_main!(benches);

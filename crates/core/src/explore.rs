@@ -6,10 +6,10 @@
 //! snapshot every `√2` of movement (rows spaced `√2`), and the team
 //! rendezvouses at a designated endpoint.
 
+use crate::knowledge::Knowledge;
 use crate::team::Team;
 use freezetag_geometry::{sweep, Point, Rect};
 use freezetag_sim::{Recorder, Sighting, Sim, WorldView};
-use std::collections::BTreeMap;
 
 /// Drives the *kinematic* half of an exploration — the sweep trajectory is
 /// oblivious (snapshot positions depend only on `rect`, never on what is
@@ -40,7 +40,10 @@ pub(crate) fn sweep_queries<W: WorldView, R: Recorder>(
         // Teams may outnumber strips only when len > strips (never: strips
         // = len); each member sweeps exactly one strip.
         let strip = &strips[i];
-        for snap in sweep::snapshot_positions(strip) {
+        let snaps = sweep::snapshot_positions(strip);
+        sim.reserve_moves(robot, snaps.len() + 1);
+        queries.reserve(snaps.len());
+        for snap in snaps {
             let t = sim.move_to(robot, snap);
             queries.push((snap, t));
         }
@@ -50,15 +53,27 @@ pub(crate) fn sweep_queries<W: WorldView, R: Recorder>(
 }
 
 /// Deduplicates a concatenated run of sightings by robot id (last sighting
-/// wins, as repeated `BTreeMap` inserts did in the interleaved loop —
-/// initial positions never change, so duplicates are identical anyway);
-/// returns them in id order, matching the old per-look insert order.
+/// wins, as repeated map inserts did in the interleaved loop — initial
+/// positions never change, so duplicates are identical anyway); returns
+/// them in id order, matching the old per-look insert order.
+///
+/// Sort-based: a stable sort groups each id's sightings in arrival order
+/// and a compacting walk keeps the last of every run — no tree, no
+/// per-entry allocation.
 pub(crate) fn dedup_sightings(flat: &[Sighting]) -> Vec<Sighting> {
-    let mut seen: BTreeMap<freezetag_sim::RobotId, Sighting> = BTreeMap::new();
-    for s in flat {
-        seen.insert(s.id, *s);
+    let mut out = flat.to_vec();
+    out.sort_by_key(|s| s.id);
+    let mut w = 0;
+    for i in 0..out.len() {
+        if w > 0 && out[w - 1].id == out[i].id {
+            out[w - 1] = out[i];
+        } else {
+            out[w] = out[i];
+            w += 1;
+        }
     }
-    seen.into_values().collect()
+    out.truncate(w);
+    out
 }
 
 /// Prefix sums over per-query sighting counts (as filled by
@@ -117,6 +132,29 @@ pub(crate) fn explore<W: WorldView, R: Recorder>(
         sweep_queries(sim, team, rect, endpoint, queries);
         sim.look_many_into(queries, flat, counts);
         dedup_sightings(flat)
+    })
+}
+
+/// [`explore`] feeding the sightings straight into a [`Knowledge`] store —
+/// the `DFSampling` ball-exploration path. `note_sighting` is idempotent
+/// on duplicate sightings (a sleeping robot is always reported at the same
+/// initial position), so skipping the dedup changes no knowledge state and
+/// saves the intermediate buffer entirely.
+pub(crate) fn explore_noted<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
+    team: &Team,
+    rect: &Rect,
+    endpoint: Point,
+    knowledge: &mut Knowledge,
+) {
+    EXPLORE_SCRATCH.with(|scratch| {
+        let (queries, flat, counts) = &mut *scratch.borrow_mut();
+        queries.clear();
+        sweep_queries(sim, team, rect, endpoint, queries);
+        sim.look_many_into(queries, flat, counts);
+        for s in flat.iter() {
+            knowledge.note_sighting(s.id, s.pos);
+        }
     })
 }
 

@@ -283,7 +283,7 @@ fn run_slot_batched<W: WorldView, R: Recorder>(
         let q_lo = queries.len();
         sweep_queries(
             sim,
-            &Team::new(vec![explorer]),
+            &Team::solo(explorer),
             &target_sq.to_rect(),
             target_sq.center(),
             &mut queries,
@@ -335,7 +335,7 @@ fn explore_and_wake<W: WorldView, R: Recorder, C: Fn(Point) -> CellCoord>(
     cell_of: &C,
     cell: CellCoord,
 ) -> Vec<RobotId> {
-    let solo = Team::new(vec![robot]);
+    let solo = Team::solo(robot);
     let sightings = explore(sim, &solo, &square.to_rect(), square.center());
     let items: Vec<(RobotId, Point)> = sightings
         .into_iter()

@@ -36,7 +36,7 @@ pub mod bounds;
 mod explore;
 mod grid;
 mod grid_events;
-mod knowledge;
+pub mod knowledge;
 mod radius_approx;
 mod sampling;
 mod separator;

@@ -52,7 +52,7 @@ pub fn estimate_radius<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, ell: f64)
     let src = sim.world().source_pos();
     let t_start = sim.time(RobotId::SOURCE);
     let mut team = Team::new(vec![RobotId::SOURCE]);
-    let mut knowledge = Knowledge::new();
+    let mut knowledge = Knowledge::with_cell_width(ell);
     knowledge.note_awake(RobotId::SOURCE, src);
     let target = ((4.0 * ell).ceil() as usize).max(4);
 

@@ -11,12 +11,26 @@
 //! case the region is *covered*: every robot in it has been discovered
 //! (property (2) of Lemma 5, which justifies `ASeparator`'s termination
 //! rounds).
+//!
+//! ## Cost shape
+//!
+//! Every step of the DFS inner loop is a bounded cell scan: the
+//! covered-check against `P'` and the `explored` set live in ℓ-cell
+//! [`CellGrid`]s, and the next-move selection is a `2ℓ`-radius query
+//! against the grid-indexed [`Knowledge`] store — O(local density) per
+//! step where the original rescanned every known robot. The schedules are
+//! byte-identical to that linear-scan implementation: the grids apply the
+//! exact same acceptance predicates, and ties in the next-move selection
+//! break on the robot id just as the id-ordered scan did (pinned by the
+//! `schedule_identity` suite).
 
-use crate::explore::explore;
+use crate::explore::explore_noted;
 use crate::knowledge::Knowledge;
 use crate::team::Team;
 use freezetag_geometry::{Point, Square};
+use freezetag_graph::CellGrid;
 use freezetag_sim::{Recorder, Sim, WorldView};
+use std::cell::RefCell;
 
 /// Result of a [`df_sampling`] run.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +42,13 @@ pub(crate) struct SamplingOutcome {
     /// Whether the search exhausted every reachable position: the region
     /// is covered by `P'` and every robot in it is now in `knowledge`.
     pub covered: bool,
+}
+
+thread_local! {
+    /// Reused sample/explored grids: `ASeparator` runs thousands of
+    /// `df_sampling` calls, and the grids' table allocations survive
+    /// between them ([`CellGrid::reset`] re-widths per call).
+    static DF_SCRATCH: RefCell<Option<(CellGrid, CellGrid)>> = const { RefCell::new(None) };
 }
 
 /// Runs `DFSampling` on `region` from `seeds`.
@@ -52,14 +73,14 @@ pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
 ) -> SamplingOutcome {
     let mut sample: Vec<Point> = Vec::new();
     let mut recruits = Vec::new();
-    let mut explored: Vec<Point> = Vec::new(); // ball-explored sample points
     let mut truncated = false;
-
-    let is_covered = |sample: &[Point], p: Point| -> bool {
-        sample
-            .iter()
-            .any(|&s| s.dist(p) <= ell + freezetag_geometry::EPS)
-    };
+    let (mut sample_grid, mut explored_grid) = DF_SCRATCH
+        .with(|s| s.borrow_mut().take())
+        .unwrap_or_else(|| (CellGrid::new(1.0), CellGrid::new(1.0)));
+    // Sample points are pairwise > ℓ apart, so an ℓ-cell holds O(1) of
+    // them; `explored` holds visited positions, equally sparse.
+    sample_grid.reset(ell);
+    explored_grid.reset(ell);
 
     // Sort(X): order seeds by the clockwise parameter of their projection
     // onto the region border (Section 6.5).
@@ -76,7 +97,9 @@ pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
             truncated = true;
             break;
         }
-        if is_covered(&sample, seed) {
+        // Covered iff some sample point is within ℓ (+EPS) — the same
+        // acceptance the linear scan over `sample` applied.
+        if sample_grid.any_within(seed, ell) {
             continue;
         }
         // Move to the seed and start a DFS branch there.
@@ -86,6 +109,7 @@ pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
             team,
             knowledge,
             &mut sample,
+            &mut sample_grid,
             &mut recruits,
             seed,
             &in_region,
@@ -96,37 +120,40 @@ pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
                 truncated = true;
                 break 'seeds;
             }
-            // Discover the 2ℓ-ball around the current position (once).
-            if !explored.iter().any(|&e| e.approx_eq(cur)) {
-                explored.push(cur);
+            // Discover the 2ℓ-ball around the current position (once —
+            // radius 0 against the explored grid is exactly `approx_eq`).
+            if !explored_grid.any_within(cur, 0.0) {
+                explored_grid.push(cur);
                 let ball = Square::new(cur, 4.0 * ell).to_rect();
-                for s in explore(sim, team, &ball, cur) {
-                    knowledge.note_sighting(s.id, s.pos);
-                }
+                explore_noted(sim, team, &ball, cur, knowledge);
             }
             // Next DFS move: nearest known, in-region, uncovered position
-            // within 2ℓ (ties by robot id through the ordered iteration).
-            let next = knowledge
-                .known_where(&in_region)
-                .filter(|(_, info)| {
-                    info.origin.dist(cur) <= 2.0 * ell + freezetag_geometry::EPS
-                        && !is_covered(&sample, info.origin)
-                })
-                .min_by(|(_, a), (_, b)| {
-                    a.origin
-                        .dist_sq(cur)
-                        .partial_cmp(&b.origin.dist_sq(cur))
-                        .expect("finite")
-                })
-                .map(|(_, info)| info.origin);
-            match next {
-                Some(q) => {
+            // within 2ℓ. The grid visits candidates in no particular
+            // order, so ties in the squared distance break on the robot
+            // id — reproducing the minimum the id-ordered scan returned.
+            let mut best: Option<(f64, usize, Point)> = None;
+            knowledge.for_each_known_within(cur, 2.0 * ell, |id, origin, _| {
+                if in_region(origin) && !sample_grid.any_within(origin, ell) {
+                    let d2 = origin.dist_sq(cur);
+                    let idx = id.index();
+                    let better = match best {
+                        None => true,
+                        Some((bd2, bidx, _)) => d2 < bd2 || (d2 == bd2 && idx < bidx),
+                    };
+                    if better {
+                        best = Some((d2, idx, origin));
+                    }
+                }
+            });
+            match best {
+                Some((_, _, q)) => {
                     team.move_all(sim, q);
                     visit(
                         sim,
                         team,
                         knowledge,
                         &mut sample,
+                        &mut sample_grid,
                         &mut recruits,
                         q,
                         &in_region,
@@ -143,6 +170,7 @@ pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
         }
     }
 
+    DF_SCRATCH.with(|s| *s.borrow_mut() = Some((sample_grid, explored_grid)));
     SamplingOutcome {
         sample,
         recruits,
@@ -153,11 +181,13 @@ pub(crate) fn df_sampling<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
 /// On arrival at a sampled position: add it to `P'` and wake/recruit any
 /// sleeping robot sitting there — but only robots *owned* by this team's
 /// region (`in_region`), so sibling teams never race on a border robot.
+#[allow(clippy::too_many_arguments)]
 fn visit<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
     sim: &mut Sim<W, R>,
     team: &mut Team,
     knowledge: &mut Knowledge,
     sample: &mut Vec<Point>,
+    sample_grid: &mut CellGrid,
     recruits: &mut Vec<freezetag_sim::RobotId>,
     pos: Point,
     in_region: &F,
@@ -169,6 +199,7 @@ fn visit<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
     // appear to hit the 4ℓ target and recurse pointlessly.
     if in_region(pos) {
         sample.push(pos);
+        sample_grid.push(pos);
     }
     // A look at the position itself keeps the adversarial world honest
     // (the robot must be discoverable where we stand) and refreshes
@@ -177,10 +208,17 @@ fn visit<W: WorldView, R: Recorder, F: Fn(Point) -> bool>(
         knowledge.note_sighting(s.id, s.pos);
     }
     // Wake every known sleeping robot exactly at this position (usually
-    // one; co-located robots all wake here).
-    let here: Vec<_> = knowledge
-        .asleep_where(|p| p.approx_eq(pos) && in_region(p))
-        .collect();
+    // one; co-located robots all wake here). Radius 0 against the origin
+    // grid is the `approx_eq(pos)` acceptance of the old full scan; the
+    // collected candidates are sorted so wakes happen in id order as
+    // before.
+    let mut here: Vec<(freezetag_sim::RobotId, Point)> = Vec::new();
+    knowledge.for_each_known_within(pos, 0.0, |id, origin, awake| {
+        if !awake && in_region(origin) {
+            here.push((id, origin));
+        }
+    });
+    here.sort_unstable_by_key(|&(id, _)| id);
     for (id, origin) in here {
         let woken = sim.wake(team.lead(), id);
         knowledge.note_awake(id, origin);
@@ -204,7 +242,7 @@ mod tests {
     ) -> (SamplingOutcome, Team, Knowledge, Sim<ConcreteWorld>) {
         let mut sim = Sim::new(ConcreteWorld::new(inst));
         let mut team = Team::new(vec![RobotId::SOURCE]);
-        let mut knowledge = Knowledge::new();
+        let mut knowledge = Knowledge::with_cell_width(ell);
         knowledge.note_awake(RobotId::SOURCE, inst.source());
         let seeds = vec![inst.source()];
         let out = df_sampling(
@@ -351,7 +389,7 @@ mod tests {
                 let region = Square::new(Point::ORIGIN, r);
                 let mut sim = Sim::new(ConcreteWorld::new(&inst));
                 let mut team = Team::new(vec![RobotId::SOURCE]);
-                let mut knowledge = Knowledge::new();
+                let mut knowledge = Knowledge::with_cell_width(ell);
                 knowledge.note_awake(RobotId::SOURCE, inst.source());
                 let out = df_sampling(
                     &mut sim, &mut team, &mut knowledge,

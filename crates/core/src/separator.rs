@@ -24,7 +24,7 @@
 //!   square (possible when `AWave` injects a foreign team) are dealt
 //!   round-robin to the quadrants that still have work.
 
-use crate::explore::{dedup_sightings, sighting_offsets, sweep_queries};
+use crate::explore::sweep_queries;
 use crate::knowledge::Knowledge;
 use crate::sampling::{df_sampling, SamplingOutcome};
 use crate::team::Team;
@@ -36,6 +36,18 @@ use std::rc::Rc;
 
 /// Region-ownership predicate threaded through the recursion.
 pub(crate) type Region = Rc<dyn Fn(Point) -> bool>;
+
+/// Reusable query/sighting/count buffers of one separator-ring sweep.
+type RingScratch = (Vec<(Point, f64)>, Vec<freezetag_sim::Sighting>, Vec<u32>);
+
+thread_local! {
+    /// Reused buffers of the separator-ring sweeps: a deep `ASeparator`
+    /// recursion explores thousands of rings, and the buffers (hundreds
+    /// of kilobytes at large widths) survive between them instead of
+    /// regrowing per quadrant.
+    static RING_SCRATCH: std::cell::RefCell<RingScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
 
 /// Internal parameters of the separator engine.
 #[derive(Debug, Clone, Copy)]
@@ -86,7 +98,7 @@ impl ASeparatorConfig {
 pub fn a_separator<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &ASeparatorConfig) {
     let src = sim.world().source_pos();
     let square = Square::new(src, 2.0 * cfg.tuple.rho);
-    let mut knowledge = Knowledge::new();
+    let mut knowledge = Knowledge::with_cell_width(cfg.tuple.ell);
     knowledge.note_awake(RobotId::SOURCE, src);
     let team = Team::new(vec![RobotId::SOURCE]);
     let params = SeparatorParams {
@@ -196,30 +208,27 @@ fn rounds<W: WorldView, R: Recorder>(
     for (ti, mut t) in subteams.into_iter().enumerate() {
         for qi in (0..4).filter(|q| q % n_sub == ti) {
             let quad = quads[qi];
+            let sep = quad.separator(params.ell);
+            let t0 = t.time(sim);
             // (iii) Exploration of sep(quad): the four ring rectangles
             // have oblivious sweep trajectories, so their moves are driven
             // first and the ring's sensing queries resolve as one batch on
-            // the sim's pool (per-rectangle slices recovered afterwards).
-            // No wake happens between the sweeps, so this is bit-identical
-            // to exploring the rectangles one at a time — on every world.
-            let sep = quad.separator(params.ell);
-            let t0 = t.time(sim);
-            let mut queries: Vec<(Point, f64)> = Vec::new();
-            let mut ranges: Vec<(usize, usize)> = Vec::new();
-            for rect in sep.rectangles() {
-                let q_lo = queries.len();
-                sweep_queries(sim, &t, &rect, rect.min(), &mut queries);
-                ranges.push((q_lo, queries.len()));
-            }
-            let mut flat = Vec::new();
-            let mut counts = Vec::new();
-            sim.look_many_into(&queries, &mut flat, &mut counts);
-            let offsets = sighting_offsets(&counts);
-            for &(q_lo, q_hi) in &ranges {
-                for s in dedup_sightings(&flat[offsets[q_lo]..offsets[q_hi]]) {
+            // the sim's pool. No wake happens between the sweeps, so this
+            // is bit-identical to exploring the rectangles one at a time —
+            // on every world. The sightings feed the knowledge store
+            // directly (note_sighting is idempotent on the duplicates the
+            // old per-rectangle dedup removed).
+            RING_SCRATCH.with(|scratch| {
+                let (queries, flat, counts) = &mut *scratch.borrow_mut();
+                queries.clear();
+                for rect in sep.rectangles() {
+                    sweep_queries(sim, &t, &rect, rect.min(), queries);
+                }
+                sim.look_many_into(queries, flat, counts);
+                for s in flat.iter() {
                     knowledge.note_sighting(s.id, s.pos);
                 }
-            }
+            });
             let t_sep_end = t.time(sim);
             sim.trace_mut().record(
                 format!("d{depth}/explore-sep"),
@@ -228,11 +237,20 @@ fn rounds<W: WorldView, R: Recorder>(
                 format!("quad={qi} width={:.1}", quad.width()),
             );
             // Seeds: every known robot (asleep or awake) located in the
-            // separator ring.
-            let seeds: Vec<Point> = knowledge
-                .known_where(|p| sep.contains(p))
-                .map(|(_, info)| info.origin)
-                .collect();
+            // separator ring, in id order — gathered from the cells of the
+            // ring rectangles (adjacent rectangles share boundary cells,
+            // hence the sort + dedup) instead of a full knowledge scan.
+            let mut seed_ids: Vec<(usize, Point)> = Vec::new();
+            for rect in sep.rectangles() {
+                knowledge.for_each_known_in_rect(&rect, |id, origin, _| {
+                    if sep.contains(origin) {
+                        seed_ids.push((id.index(), origin));
+                    }
+                });
+            }
+            seed_ids.sort_unstable_by_key(|&(i, _)| i);
+            seed_ids.dedup_by_key(|&mut (i, _)| i);
+            let seeds: Vec<Point> = seed_ids.into_iter().map(|(_, p)| p).collect();
             // (iv) Recruitment inside the quadrant, with border ownership.
             let own_q = quadrant_region(&own, square, qi);
             let t1 = t.time(sim);
@@ -279,7 +297,14 @@ fn rounds<W: WorldView, R: Recorder>(
     for qi in 0..4 {
         let out = outcomes[qi].as_ref().expect("all quadrants sampled");
         let own_q = quadrant_region(&own, square, qi);
-        let has_asleep = knowledge.asleep_where(own_q).next().is_some();
+        // Owned sleepers can only originate inside the quadrant (the
+        // ownership predicate conjoins `quad.contains`), so the existence
+        // check is a bounded cell scan over the quadrant, not a pass over
+        // everything known.
+        let mut has_asleep = false;
+        knowledge.for_each_known_in_rect(&quads[qi].to_rect(), |_, origin, awake| {
+            has_asleep = has_asleep || (!awake && own_q(origin));
+        });
         work[qi] = if !out.covered {
             Work::Recurse
         } else if has_asleep {
@@ -355,9 +380,16 @@ fn terminating_round<W: WorldView, R: Recorder>(
     strategy: WakeStrategy,
     depth: usize,
 ) {
-    let items: Vec<(RobotId, Point)> = knowledge
-        .asleep_where(|p| square.contains(p) && own(p))
-        .collect();
+    // Known sleepers owned by the square, in id order (the wake-tree
+    // builders are sensitive to item order): a bounded cell scan over the
+    // square plus a sort, instead of the old full-knowledge filter.
+    let mut items: Vec<(RobotId, Point)> = Vec::new();
+    knowledge.for_each_known_in_rect(&square.to_rect(), |id, origin, awake| {
+        if !awake && square.contains(origin) && own(origin) {
+            items.push((id, origin));
+        }
+    });
+    items.sort_unstable_by_key(|&(id, _)| id);
     if items.is_empty() {
         return;
     }
@@ -365,11 +397,12 @@ fn terminating_round<W: WorldView, R: Recorder>(
     let tree = strategy.build(team.pos(sim), &items);
     let woken = realize(sim, team.lead(), &tree);
     for id in &woken {
-        let origin = items
-            .iter()
-            .find(|(i, _)| i == id)
-            .map(|&(_, p)| p)
-            .expect("woken robot was in the item list");
+        // The item list was read off the store, so the origin lookup is a
+        // direct probe (wakes never relocate an origin).
+        let origin = knowledge
+            .get(*id)
+            .expect("woken robot was in the item list")
+            .origin;
         knowledge.note_awake(*id, origin);
     }
     let t_end = team.time(sim);

@@ -22,6 +22,14 @@ impl Team {
         Team { members }
     }
 
+    /// A one-robot team — the designated-explorer case of the wave drivers
+    /// and the single-searcher primitives.
+    pub fn solo(robot: RobotId) -> Self {
+        Team {
+            members: vec![robot],
+        }
+    }
+
     /// The designated leader (first member) — performs wakes and
     /// centralized computations on behalf of the team.
     pub fn lead(&self) -> RobotId {

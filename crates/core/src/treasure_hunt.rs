@@ -9,7 +9,7 @@
 //! Both are implemented here against the restricted sensing interface and
 //! measured in the `fig_explore` bench.
 
-use crate::explore::explore;
+use crate::explore::{dedup_sightings, explore};
 use crate::team::Team;
 use freezetag_geometry::Square;
 use freezetag_sim::{Recorder, Sighting, Sim, WorldView};
@@ -57,7 +57,7 @@ pub fn spiral_search<W: WorldView, R: Recorder>(
     assert!(max_width > 0.0, "max_width must be positive");
     let start = sim.pos(robot);
     let t0 = sim.time(robot);
-    let team = Team::new(vec![robot]);
+    let team = Team::solo(robot);
     let mut width = 2.0;
     let mut inner = 0.0;
     loop {
@@ -68,16 +68,15 @@ pub fn spiral_search<W: WorldView, R: Recorder>(
             explore(sim, &team, &square.to_rect(), start)
         } else {
             let ring = freezetag_geometry::Separator::new(square, (width - inner) / 2.0);
-            // Ring rectangles overlap in vision range: dedupe by id.
-            let mut all: std::collections::BTreeMap<freezetag_sim::RobotId, Sighting> =
-                std::collections::BTreeMap::new();
+            // Ring rectangles overlap in vision range: dedupe by id with
+            // the shared sort-based pass (last sighting wins, id order —
+            // exactly what the old ad-hoc map here did).
+            let mut all: Vec<Sighting> = Vec::new();
             for rect in ring.rectangles() {
-                for s in explore(sim, &team, &rect, rect.min()) {
-                    all.insert(s.id, s);
-                }
+                all.extend(explore(sim, &team, &rect, rect.min()));
             }
             sim.move_to(robot, start);
-            all.into_values().collect()
+            dedup_sightings(&all)
         };
         if !found.is_empty() {
             return SearchOutcome {

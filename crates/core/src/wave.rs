@@ -82,7 +82,7 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
         target: ((4.0 * ell).ceil() as usize).max(4),
         strategy: freezetag_central::WakeStrategy::Quadtree,
     };
-    let mut knowledge = Knowledge::new();
+    let mut knowledge = Knowledge::with_cell_width(ell);
     knowledge.note_awake(RobotId::SOURCE, src);
 
     // Round 0: ASeparator inside the source's square.

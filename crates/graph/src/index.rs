@@ -1,104 +1,68 @@
+use crate::cellmap::{CellMap, EMPTY};
 use freezetag_geometry::Point;
 
-/// Sentinel for an unoccupied [`CellMap`] slot.
-const EMPTY: u32 = u32::MAX;
-
-/// Open-addressing directory from cell key to dense cell id.
+/// Dense row-major directory over the occupied cell bounding box: cell
+/// `(i, j)` maps to `ids[(j - min.1) * w + (i - min.0)]` (the dense cell
+/// id, or [`EMPTY`]).
 ///
-/// This sits in the innermost loop of every range query (one probe per
-/// scanned cell, ~9 per unit-vision `look`), where `std`'s SipHash-backed
-/// `HashMap` was measured at ~20 % of a 10⁶-robot sweep. The probe here is
-/// a splitmix64-style mix (a handful of multiplies) plus a masked linear
-/// scan — deterministic, with no per-process hasher state.
+/// Range queries hit the directory instead of probing the open-addressing
+/// [`CellMap`] once per scanned cell — a plain array load, and queries
+/// outside the bounding box reject after the clamp without touching memory
+/// at all. The sparse map is kept as the fallback for point sets whose
+/// bounding box is too large to enumerate densely (long adversarial paths,
+/// far-flung stragglers).
 #[derive(Debug, Clone, PartialEq)]
-struct CellMap {
-    /// Power-of-two table; parallel key/value slots, `EMPTY` value = free.
-    keys: Vec<(i64, i64)>,
-    vals: Vec<u32>,
-    len: usize,
+struct CellWindow {
+    min: (i64, i64),
+    /// Extent in cells; `ids.len() == w * h`.
+    w: i64,
+    h: i64,
+    ids: Vec<u32>,
+    /// Coordinate-space bounds of the window inflated by one full cell on
+    /// every side: any query whose inflated box lies outside cannot touch
+    /// an occupied cell (the one-cell margin swallows every bucketing
+    /// rounding concern), so the empty-space fast path is four compares.
+    reject: [f64; 4],
 }
 
-impl CellMap {
-    fn new() -> Self {
-        CellMap {
-            keys: vec![(0, 0); 16],
-            vals: vec![EMPTY; 16],
-            len: 0,
+impl CellWindow {
+    /// Builds the window when the occupied bounding box stays within
+    /// `budget` cells; returns `None` otherwise (fallback to the sparse
+    /// directory).
+    fn build(cells: &CellMap, cell: f64, budget: usize) -> Option<CellWindow> {
+        if cells.len() == 0 {
+            return None;
         }
-    }
-
-    #[inline]
-    fn hash(key: (i64, i64)) -> u64 {
-        let mut z = (key.0 as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((key.1 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z ^ (z >> 31)
-    }
-
-    /// Number of occupied entries.
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    #[inline]
-    fn get(&self, key: (i64, i64)) -> Option<u32> {
-        let mask = self.keys.len() - 1;
-        let mut slot = (Self::hash(key) as usize) & mask;
-        loop {
-            let v = self.vals[slot];
-            if v == EMPTY {
-                return None;
-            }
-            if self.keys[slot] == key {
-                return Some(v);
-            }
-            slot = (slot + 1) & mask;
+        let (mut min, mut max) = ((i64::MAX, i64::MAX), (i64::MIN, i64::MIN));
+        cells.for_each(|k, _| {
+            min.0 = min.0.min(k.0);
+            min.1 = min.1.min(k.1);
+            max.0 = max.0.max(k.0);
+            max.1 = max.1.max(k.1);
+        });
+        let w = max.0.checked_sub(min.0)?.checked_add(1)?;
+        let h = max.1.checked_sub(min.1)?.checked_add(1)?;
+        let area = (w as i128) * (h as i128);
+        if area > budget as i128 {
+            return None;
         }
-    }
-
-    /// Returns the id stored for `key`, inserting `val` first if absent
-    /// (`HashMap::entry(key).or_insert(val)` semantics). Grows at 1/2 load
-    /// so probe chains stay short.
-    fn get_or_insert(&mut self, key: (i64, i64), val: u32) -> u32 {
-        if (self.len + 1) * 2 > self.keys.len() {
-            self.grow();
-        }
-        let mask = self.keys.len() - 1;
-        let mut slot = (Self::hash(key) as usize) & mask;
-        loop {
-            let v = self.vals[slot];
-            if v == EMPTY {
-                self.keys[slot] = key;
-                self.vals[slot] = val;
-                self.len += 1;
-                return val;
-            }
-            if self.keys[slot] == key {
-                return v;
-            }
-            slot = (slot + 1) & mask;
-        }
-    }
-
-    fn grow(&mut self) {
-        let cap = self.keys.len() * 2;
-        let (old_keys, old_vals) = (
-            std::mem::replace(&mut self.keys, vec![(0, 0); cap]),
-            std::mem::replace(&mut self.vals, vec![EMPTY; cap]),
-        );
-        let mask = cap - 1;
-        for (key, v) in old_keys.into_iter().zip(old_vals) {
-            if v == EMPTY {
-                continue;
-            }
-            let mut slot = (Self::hash(key) as usize) & mask;
-            while self.vals[slot] != EMPTY {
-                slot = (slot + 1) & mask;
-            }
-            self.keys[slot] = key;
-            self.vals[slot] = v;
-        }
+        let mut ids = vec![EMPTY; area as usize];
+        cells.for_each(|k, id| {
+            ids[((k.1 - min.1) * w + (k.0 - min.0)) as usize] = id;
+        });
+        let reject = [
+            (min.0 - 1) as f64 * cell,
+            (min.1 - 1) as f64 * cell,
+            (max.0 + 2) as f64 * cell,
+            (max.1 + 2) as f64 * cell,
+        ];
+        Some(CellWindow {
+            min,
+            w,
+            h,
+            ids,
+            reject,
+        })
     }
 }
 
@@ -112,8 +76,10 @@ impl CellMap {
 ///
 /// Storage is flat (struct-of-arrays): coordinates live in two `Vec<f64>`
 /// and the buckets are a CSR layout (`starts` offsets into one `order`
-/// array), so building the index for 10⁶ points performs a handful of
-/// large allocations instead of one small `Vec` per occupied cell.
+/// array). The cell directory is two-tiered: a dense row-major window over
+/// the occupied bounding box (one array load per scanned cell, instant
+/// rejection outside the box) backed by the open-addressing `CellMap`
+/// for point sets too spread out to enumerate densely.
 ///
 /// # Example
 ///
@@ -133,6 +99,9 @@ pub struct GridIndex {
     cell: f64,
     /// Cell key → dense cell id (index into `starts`).
     cells: CellMap,
+    /// Dense fast path over the occupied cell bounding box, when small
+    /// enough (see [`GridIndex::WINDOW_BUDGET_PER_POINT`]).
+    window: Option<CellWindow>,
     /// CSR offsets: cell id `c` owns `order[starts[c]..starts[c + 1]]`.
     starts: Vec<u32>,
     /// Point indices grouped by cell, ascending within each cell.
@@ -140,6 +109,14 @@ pub struct GridIndex {
 }
 
 impl GridIndex {
+    /// Dense-window budget: the occupied cell bounding box may cover at
+    /// most `max(65536, 8 n)` cells (4 bytes each) before the index falls
+    /// back to the sparse directory. The floor covers every small-n
+    /// instance (a 256 KiB directory at worst); the per-point term keeps
+    /// the window within a constant factor of the point storage at 10⁶
+    /// scale, and degenerate spreads (clusters megacells apart) fall back.
+    pub const WINDOW_BUDGET_PER_POINT: usize = 8;
+
     /// Builds an index over `points` with the given cell width.
     ///
     /// # Panics
@@ -214,18 +191,27 @@ impl GridIndex {
             order[cursor[cid as usize] as usize] = i as u32;
             cursor[cid as usize] += 1;
         }
+        let window = CellWindow::build(
+            &cells,
+            cell_width,
+            (1 << 16).max(Self::WINDOW_BUDGET_PER_POINT * n),
+        );
         GridIndex {
             xs,
             ys,
             cell: cell_width,
             cells,
+            window,
             starts,
             order,
         }
     }
 
+    /// Build- and query-side bucketing share this exact division so a
+    /// point's cell and a range's cell bounds can never disagree, at any
+    /// coordinate magnitude.
     fn key(p: Point, cell: f64) -> (i64, i64) {
-        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+        CellMap::key_of(p, cell)
     }
 
     /// The bucket key of point `p` for the given cell width — the exact
@@ -250,18 +236,40 @@ impl GridIndex {
         self.xs.len()
     }
 
+    /// The configured cell width.
+    pub fn cell_width(&self) -> f64 {
+        self.cell
+    }
+
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.xs.is_empty()
     }
 
-    /// Approximate heap footprint of the index in bytes (flat arrays plus
-    /// the cell directory), for the experiment engine's memory accounting.
+    /// Approximate heap footprint of the index in bytes (flat arrays, the
+    /// cell directory and the dense window), for the experiment engine's
+    /// memory accounting.
     pub fn memory_bytes(&self) -> usize {
         self.xs.len() * 16
             + self.order.len() * 4
             + self.starts.len() * 4
             + self.cells.len() * (16 + 4)
+            + self.window.as_ref().map_or(0, |w| w.ids.len() * 4)
+    }
+
+    /// Appends the in-range points of cell `cid` to `out`.
+    #[inline]
+    fn scan_cell(&self, cid: u32, q: Point, accept: f64, out: &mut Vec<usize>) {
+        let (a, b) = (
+            self.starts[cid as usize] as usize,
+            self.starts[cid as usize + 1] as usize,
+        );
+        for &idx in &self.order[a..b] {
+            let idx = idx as usize;
+            if self.point(idx).dist(q) <= accept {
+                out.push(idx);
+            }
+        }
     }
 
     /// Indices of all points within Euclidean distance `r` of `q`
@@ -276,27 +284,56 @@ impl GridIndex {
         // below accepts it), even when it falls a hair across a cell
         // boundary.
         let rr = r + 2.0 * freezetag_geometry::EPS;
-        let lo = Self::key(q - Point::new(rr, rr), self.cell);
-        let hi = Self::key(q + Point::new(rr, rr), self.cell);
-        let accept = r + freezetag_geometry::EPS;
-        for i in lo.0..=hi.0 {
-            for j in lo.1..=hi.1 {
-                let Some(cid) = self.cells.get((i, j)) else {
-                    continue;
-                };
-                let (a, b) = (
-                    self.starts[cid as usize] as usize,
-                    self.starts[cid as usize + 1] as usize,
-                );
-                for &idx in &self.order[a..b] {
-                    let idx = idx as usize;
-                    if self.point(idx).dist(q) <= accept {
-                        out.push(idx);
+        match &self.window {
+            Some(win) => {
+                // Queries whose inflated box cannot touch the occupied
+                // bounding box (most of a wave's empty-space sweeps)
+                // reject on four compares, before any bucketing math.
+                if q.x + rr < win.reject[0]
+                    || q.y + rr < win.reject[1]
+                    || q.x - rr > win.reject[2]
+                    || q.y - rr > win.reject[3]
+                {
+                    return;
+                }
+                let lo = Self::key(q - Point::new(rr, rr), self.cell);
+                let hi = Self::key(q + Point::new(rr, rr), self.cell);
+                let accept = r + freezetag_geometry::EPS;
+                // Clamp the scan to the occupied bounding box; row slices
+                // so the inner loop is a plain array walk.
+                let (i0, i1) = (lo.0.max(win.min.0), hi.0.min(win.min.0 + win.w - 1));
+                let (j0, j1) = (lo.1.max(win.min.1), hi.1.min(win.min.1 + win.h - 1));
+                if i0 <= i1 {
+                    for j in j0..=j1 {
+                        let base = ((j - win.min.1) * win.w + (i0 - win.min.0)) as usize;
+                        for &cid in &win.ids[base..=base + (i1 - i0) as usize] {
+                            if cid != EMPTY {
+                                self.scan_cell(cid, q, accept, out);
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                // The sparse fallback exists for far-flung point sets —
+                // exactly the regime where coordinates can exceed the
+                // `EPS / ulp` bound the reciprocal bucketing relies on —
+                // so it keeps the exact division keys of the build side.
+                let lo = Self::key(q - Point::new(rr, rr), self.cell);
+                let hi = Self::key(q + Point::new(rr, rr), self.cell);
+                let accept = r + freezetag_geometry::EPS;
+                for i in lo.0..=hi.0 {
+                    for j in lo.1..=hi.1 {
+                        if let Some(cid) = self.cells.get((i, j)) {
+                            self.scan_cell(cid, q, accept, out);
+                        }
                     }
                 }
             }
         }
-        out.sort_unstable();
+        if out.len() > 1 {
+            out.sort_unstable();
+        }
     }
 
     /// Indices of all points within Euclidean distance `r` of `q`, in
@@ -403,6 +440,7 @@ mod tests {
             assert_eq!(a.starts, b.starts);
             assert_eq!(a.order, b.order);
             assert_eq!(a.cells, b.cells);
+            assert_eq!(a.window, b.window);
         }
     }
 
@@ -418,6 +456,50 @@ mod tests {
         let idx = GridIndex::build(&points, 1.0);
         let got: Vec<usize> = idx.within(Point::new(-1.0, -1.0), 0.8).collect();
         assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn sparse_fallback_answers_like_the_window() {
+        // Two tight clusters a million cells apart: the bounding box blows
+        // the dense budget, forcing the CellMap path — results must match
+        // brute force exactly, same as the windowed path does.
+        let mut points: Vec<Point> = (0..40)
+            .map(|i| Point::new((i % 8) as f64 * 0.4, (i / 8) as f64 * 0.4))
+            .collect();
+        points.extend(
+            (0..40).map(|i| Point::new(1.0e6 + (i % 8) as f64 * 0.4, 1.0e6 + (i / 8) as f64 * 0.4)),
+        );
+        let idx = GridIndex::build(&points, 1.0);
+        assert!(idx.window.is_none(), "bounding box must exceed the budget");
+        for &q in &[
+            Point::ORIGIN,
+            Point::new(1.0e6 + 1.0, 1.0e6 + 1.0),
+            Point::new(500.0, 500.0),
+        ] {
+            let got: Vec<usize> = idx.within(q, 1.5).collect();
+            let want: Vec<usize> = (0..points.len())
+                .filter(|&i| points[i].dist(q) <= 1.5 + freezetag_geometry::EPS)
+                .collect();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn window_covers_compact_sets_and_rejects_outside_queries() {
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let idx = GridIndex::build(&points, 1.0);
+        assert!(idx.window.is_some(), "compact set must get the window");
+        // Far outside the box: clamp produces an empty scan.
+        assert_eq!(idx.within(Point::new(500.0, -500.0), 2.0).count(), 0);
+        // On the boundary, results still match brute force.
+        let q = Point::new(9.5, 9.5);
+        let got: Vec<usize> = idx.within(q, 1.0).collect();
+        let want: Vec<usize> = (0..points.len())
+            .filter(|&i| points[i].dist(q) <= 1.0 + freezetag_geometry::EPS)
+            .collect();
+        assert_eq!(got, want);
     }
 
     mod properties {

@@ -34,12 +34,15 @@
 //! assert!(g.is_connected());
 //! ```
 
+mod cellgrid;
+mod cellmap;
 mod diskgraph;
 mod index;
 mod params;
 mod traversal;
 mod unionfind;
 
+pub use cellgrid::CellGrid;
 pub use diskgraph::DiskGraph;
 pub use index::GridIndex;
 pub use params::{connectivity_threshold, eccentricity, radius, InstanceParams};

@@ -282,6 +282,38 @@ pub const GENERATORS: &[GeneratorInfo] = &[
         ],
     },
     GeneratorInfo {
+        name: "wave_100k",
+        aliases: &[],
+        summary: "10^5-robot disk tuned for AWave at scale; explicit ell",
+        seeded: true,
+        adversarial: false,
+        params: &[
+            p!("n", 100_000.0, "number of robots"),
+            p!("radius", 200.0, "disk radius"),
+            p!(
+                "ell",
+                4.0,
+                "asserted connectivity bound handed to the algorithms"
+            ),
+        ],
+    },
+    GeneratorInfo {
+        name: "separator_100k",
+        aliases: &[],
+        summary: "10^5-robot disk tuned for ASeparator at scale; explicit ell",
+        seeded: true,
+        adversarial: false,
+        params: &[
+            p!("n", 100_000.0, "number of robots"),
+            p!("radius", 200.0, "disk radius"),
+            p!(
+                "ell",
+                4.0,
+                "asserted connectivity bound handed to the algorithms"
+            ),
+        ],
+    },
+    GeneratorInfo {
         name: "theorem6",
         aliases: &["path"],
         summary: "rectilinear path with prescribed eccentricity (Thm 6)",
@@ -525,7 +557,9 @@ pub fn build(name: &str, params: &ParamMap, seed: u64) -> Result<Built, Registry
             pts.push(Point::new(far, far));
             Built::Concrete(Instance::new(pts))
         }
-        "uniform_1m" => Built::Concrete(uniform_disk(r.get_count("n")?, r.get("radius")?, seed)),
+        "uniform_1m" | "wave_100k" | "separator_100k" => {
+            Built::Concrete(uniform_disk(r.get_count("n")?, r.get("radius")?, seed))
+        }
         "grid_1m" => {
             let side = r.get_count("side")?;
             Built::Concrete(grid_lattice(side, side, r.get("spacing")?))
@@ -563,7 +597,10 @@ pub fn build(name: &str, params: &ParamMap, seed: u64) -> Result<Built, Registry
 /// (lattice spacing, straggler gap).
 pub fn preset_ell(name: &str, params: &ParamMap) -> Option<f64> {
     let info = lookup(name)?;
-    if !matches!(info.name, "uniform_1m" | "grid_1m" | "skewed_500k") {
+    if !matches!(
+        info.name,
+        "uniform_1m" | "grid_1m" | "skewed_500k" | "wave_100k" | "separator_100k"
+    ) {
         return None;
     }
     Resolved { info, params }.get("ell").ok()
@@ -615,7 +652,9 @@ mod tests {
             // shrunk so this stays a unit test (their full-size defaults
             // are exercised by the scale smoke sweep in CI).
             let p = match info.name {
-                "uniform_1m" => params(&[("n", 500.0), ("radius", 15.0)]),
+                "uniform_1m" | "wave_100k" | "separator_100k" => {
+                    params(&[("n", 500.0), ("radius", 15.0)])
+                }
                 "grid_1m" => params(&[("side", 20.0)]),
                 "skewed_500k" => params(&[("n", 500.0)]),
                 _ => ParamMap::new(),
@@ -635,6 +674,21 @@ mod tests {
         assert_eq!(preset_ell("disk_1m", &params(&[("ell", 6.0)])), Some(6.0));
         assert_eq!(preset_ell("grid_1m", &ParamMap::new()), Some(1.0));
         assert_eq!(preset_ell("skewed_500k", &ParamMap::new()), Some(420.0));
+        assert_eq!(preset_ell("wave_100k", &ParamMap::new()), Some(4.0));
+        assert_eq!(
+            preset_ell("separator_100k", &params(&[("ell", 5.0)])),
+            Some(5.0)
+        );
+        // The 100k families are the 10^5 members of the disk family.
+        let w = build_instance("wave_100k", &params(&[("n", 60.0), ("radius", 9.0)]), 2).unwrap();
+        assert_eq!(w, uniform_disk(60, 9.0, 2));
+        let s = build_instance(
+            "separator_100k",
+            &params(&[("n", 60.0), ("radius", 9.0)]),
+            2,
+        )
+        .unwrap();
+        assert_eq!(s, w);
         // Ordinary generators compute ℓ* instead of asserting it.
         assert_eq!(preset_ell("disk", &ParamMap::new()), None);
         assert_eq!(preset_ell("theorem2", &ParamMap::new()), None);

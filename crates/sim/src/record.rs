@@ -59,6 +59,14 @@ pub trait Recorder {
     /// Panics if the robot is not activated.
     fn move_to(&mut self, robot: RobotId, dest: Point) -> f64;
 
+    /// Hints that about `extra` more moves of `robot` are coming (drivers
+    /// announce sweep sizes so segment storage can pre-allocate). Purely a
+    /// capacity hint: it must never change recorded contents or any
+    /// deterministic accounting. The default does nothing.
+    fn reserve_moves(&mut self, robot: RobotId, extra: usize) {
+        let _ = (robot, extra);
+    }
+
     /// Records a wait of `robot` until absolute time `t` (no-op for past
     /// times).
     ///
@@ -149,6 +157,10 @@ impl Recorder for FullRecorder {
 
     fn move_to(&mut self, robot: RobotId, dest: Point) -> f64 {
         self.schedule.timeline_mut(robot).move_to(dest)
+    }
+
+    fn reserve_moves(&mut self, robot: RobotId, extra: usize) {
+        self.schedule.timeline_mut(robot).reserve(extra);
     }
 
     fn wait_until(&mut self, robot: RobotId, t: f64) {

@@ -151,6 +151,11 @@ impl Timeline {
 
     /// Position at absolute time `t` (clamped before activation / after the
     /// last segment).
+    ///
+    /// Segment end times are nondecreasing (timelines are contiguous), so
+    /// the containing segment is found by binary search — the validator
+    /// resolves one of these per wake event, and a linear scan over a
+    /// team lead's hundred-thousand-segment timeline was quadratic there.
     pub fn position_at(&self, t: f64) -> Point {
         if t <= self.start_time || self.segments.is_empty() {
             return if self.segments.is_empty() {
@@ -159,12 +164,19 @@ impl Timeline {
                 self.start_pos
             };
         }
-        for s in &self.segments {
-            if t <= s.end_time {
-                return s.position_at(t);
-            }
+        let k = self.segments.partition_point(|s| s.end_time < t);
+        match self.segments.get(k) {
+            Some(s) => s.position_at(t),
+            None => self.current_pos(),
         }
-        self.current_pos()
+    }
+
+    /// Pre-allocates room for `extra` more segments (hot drivers hint the
+    /// known size of an upcoming sweep so mid-sweep reallocation copies
+    /// disappear). Capacity never affects recorded contents or the
+    /// length-based [`Schedule::memory_bytes`] accounting.
+    pub fn reserve(&mut self, extra: usize) {
+        self.segments.reserve(extra);
     }
 }
 

@@ -160,6 +160,18 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
         self.recorder.move_to(robot, dest)
     }
 
+    /// Hints that about `extra` more moves of `robot` follow (see
+    /// [`Recorder::reserve_moves`]): sweep drivers announce their snapshot
+    /// counts so full-profile segment storage allocates once per sweep
+    /// instead of growing mid-flight. Never changes recorded contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the robot is asleep (full recorder only).
+    pub fn reserve_moves(&mut self, robot: RobotId, extra: usize) {
+        self.recorder.reserve_moves(robot, extra);
+    }
+
     /// Makes an awake robot wait (at its position) until absolute time `t`;
     /// times in the past are a no-op so barrier joins are painless.
     ///

@@ -55,14 +55,17 @@ fn usage() -> String {
   dftp svg      --alg <ALG> --gen <GEN> [GEN OPTIONS] --out <FILE>
   dftp generate --gen <GEN> [GEN OPTIONS] [--out <FILE>]
   dftp sweep    --scenarios <SPEC[,SPEC...]> [--algs <A[,A...]>]
-                [--seeds <K>] [--plan-seed <S>] [--threads <N>]
-                [--sim-threads <N>] [--profile <full|stats>]
+                [--algorithms <A[,A...]>] [--seeds <K>] [--plan-seed <S>]
+                [--threads <N>] [--sim-threads <N>] [--profile <full|stats>]
                 [--format <json|jsonl|csv>]
                 [--out <FILE>] [--bench-json <FILE>] [--name <NAME>]
 
 sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
 sweep algorithms:     separator[:STRATEGY] | grid | wave |
                       central:STRATEGY | optimal  (default: separator,grid,wave)
+sweep --algorithms:   keep only the named algorithms of the plan's axis —
+                      re-run one algorithm's cells without editing the plan
+                      (names are validated; an empty intersection errors)
 sweep profiles:       full  = complete schedules + validation (default)
                       stats = constant memory per robot, no validation —
                               required for the large-n scenario families
@@ -325,6 +328,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         &[
             "scenarios",
             "algs",
+            "algorithms",
             "seeds",
             "plan-seed",
             "threads",
@@ -348,11 +352,36 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         .get("algs")
         .map(String::as_str)
         .unwrap_or("separator,grid,wave");
-    let algorithms: Vec<AlgSpec> = algs_text
+    let mut algorithms: Vec<AlgSpec> = algs_text
         .split(',')
         .map(AlgSpec::parse)
         .collect::<Result<_, _>>()
         .map_err(|e| e.to_string())?;
+    // --algorithms filters the plan's algorithm axis (perf work re-runs a
+    // single algorithm's cells without editing the plan). Names are
+    // validated through the same parser, so a typo fails loudly; a filter
+    // that empties the axis is an error, not a silent no-op sweep.
+    if let Some(filter_text) = opts.get("algorithms") {
+        let keep: Vec<AlgSpec> = filter_text
+            .split(',')
+            .map(AlgSpec::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        for k in &keep {
+            if !algorithms.contains(k) {
+                return Err(format!(
+                    "--algorithms keeps '{}' but the plan's axis is [{}]",
+                    k.label(),
+                    algorithms
+                        .iter()
+                        .map(AlgSpec::label)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        algorithms.retain(|a| keep.contains(a));
+    }
     let profile = match opts.get("profile") {
         None => Profile::Full,
         Some(text) => Profile::parse(text).map_err(|e| e.to_string())?,

@@ -1,0 +1,280 @@
+//! Schedule byte-identity pins for the knowledge-store refactor.
+//!
+//! The grid-indexed `Knowledge` rewrite (and every optimization that rode
+//! along with it) must change *speed only*: `ASeparator` and `AWave`
+//! schedules have to stay bit-for-bit identical to the pre-refactor
+//! implementation. The hashes below were captured from the seed (BTreeMap
+//! knowledge) code on one representative instance per concrete generator
+//! family, plus every Lemma 2 wake-strategy for `ASeparator` — a change to
+//! any wake time, segment endpoint, or event order flips the FNV-1a hash.
+//!
+//! To regenerate after an *intentional* schedule change (which also
+//! requires regenerating BENCH_results.json):
+//! `cargo test --release --test schedule_identity -- --ignored --nocapture`
+
+use freezetag::central::WakeStrategy;
+use freezetag::core::{a_separator, a_wave, ASeparatorConfig, AWaveConfig};
+use freezetag::instances::registry::{self, ParamMap};
+use freezetag::sim::{ConcreteWorld, Schedule, Sim, WorldView};
+
+/// FNV-1a over the full schedule: every timeline (robot, activation,
+/// segment endpoints/times) in deterministic order plus the wake log.
+fn schedule_hash(schedule: &Schedule) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for tl in schedule.timelines() {
+        eat(tl.robot().index() as u64);
+        eat(tl.start_time().to_bits());
+        eat(tl.start_pos().x.to_bits());
+        eat(tl.start_pos().y.to_bits());
+        eat(tl.segments().len() as u64);
+        for s in tl.segments() {
+            eat(s.start_time.to_bits());
+            eat(s.end_time.to_bits());
+            eat(s.from.x.to_bits());
+            eat(s.from.y.to_bits());
+            eat(s.to.x.to_bits());
+            eat(s.to.y.to_bits());
+        }
+    }
+    for w in schedule.wakes() {
+        eat(w.waker.index() as u64);
+        eat(w.target.index() as u64);
+        eat(w.time.to_bits());
+        eat(w.pos.x.to_bits());
+        eat(w.pos.y.to_bits());
+    }
+    h
+}
+
+/// One pinned case: `(label, generator, params, seed, algorithm)` where
+/// algorithm is `"wave"` or a separator strategy name.
+type Case = (
+    &'static str,
+    &'static str,
+    &'static [(&'static str, f64)],
+    u64,
+    &'static str,
+);
+
+const CASES: &[Case] = &[
+    (
+        "disk/sep",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        1,
+        "quadtree",
+    ),
+    (
+        "disk/sep/greedy",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        1,
+        "greedy",
+    ),
+    (
+        "disk/sep/median",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        1,
+        "median",
+    ),
+    (
+        "disk/sep/chain",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        1,
+        "chain",
+    ),
+    (
+        "disk/sep/s2",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        2,
+        "quadtree",
+    ),
+    (
+        "disk/wave",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        1,
+        "wave",
+    ),
+    (
+        "disk/wave/s2",
+        "uniform_disk",
+        &[("n", 60.0), ("radius", 12.0)],
+        2,
+        "wave",
+    ),
+    (
+        "lattice/sep",
+        "grid_lattice",
+        &[("side", 8.0), ("spacing", 1.5)],
+        1,
+        "quadtree",
+    ),
+    (
+        "lattice/wave",
+        "grid_lattice",
+        &[("side", 8.0), ("spacing", 1.5)],
+        1,
+        "wave",
+    ),
+    (
+        "snake/sep",
+        "snake",
+        &[("legs", 3.0), ("leg", 20.0), ("spacing", 1.5)],
+        1,
+        "quadtree",
+    ),
+    (
+        "snake/wave",
+        "snake",
+        &[("legs", 3.0), ("leg", 20.0), ("spacing", 1.5)],
+        1,
+        "wave",
+    ),
+    (
+        "ring/sep",
+        "ring",
+        &[("n", 30.0), ("radius", 8.0)],
+        3,
+        "quadtree",
+    ),
+    (
+        "ring/wave",
+        "ring",
+        &[("n", 30.0), ("radius", 8.0)],
+        3,
+        "wave",
+    ),
+    (
+        "clusters/sep",
+        "clustered",
+        &[("clusters", 3.0), ("per", 12.0), ("spread", 12.0)],
+        4,
+        "quadtree",
+    ),
+    (
+        "clusters/wave",
+        "clustered",
+        &[("clusters", 3.0), ("per", 12.0), ("spread", 12.0)],
+        4,
+        "wave",
+    ),
+    (
+        "bridge/sep",
+        "two_clusters_bridge",
+        &[("per", 12.0), ("gap", 14.0)],
+        5,
+        "quadtree",
+    ),
+    (
+        "bridge/wave",
+        "two_clusters_bridge",
+        &[("per", 12.0), ("gap", 14.0)],
+        5,
+        "wave",
+    ),
+    (
+        "skewed/sep",
+        "skewed",
+        &[("n", 25.0), ("radius", 3.0), ("far", 5.0)],
+        6,
+        "quadtree",
+    ),
+    (
+        "skewed/wave",
+        "skewed",
+        &[("n", 25.0), ("radius", 3.0), ("far", 5.0)],
+        6,
+        "wave",
+    ),
+    ("path/sep", "theorem6", &[], 1, "quadtree"),
+    ("path/wave", "theorem6", &[], 1, "wave"),
+];
+
+/// Hashes captured on the seed implementation (see module docs).
+const EXPECTED: &[(&str, u64)] = &[
+    ("disk/sep", 0x10c2807dbbf09ee7),
+    ("disk/sep/greedy", 0x059d2a4796ecabce),
+    ("disk/sep/median", 0x0523879ea49554ca),
+    ("disk/sep/chain", 0xb0604225c11ff7ac),
+    ("disk/sep/s2", 0x4f218b22ea769d66),
+    ("disk/wave", 0x848d8ac42dc92946),
+    ("disk/wave/s2", 0x539923053a84edc0),
+    ("lattice/sep", 0x9ddc606747317e3d),
+    ("lattice/wave", 0xefe4771a62f5513e),
+    ("snake/sep", 0xc8ee46b2a5887de7),
+    ("snake/wave", 0x13d2b5c0d04e2aa6),
+    ("ring/sep", 0xf4b884e3d32eff79),
+    ("ring/wave", 0xf8a5af83a2dd1707),
+    ("clusters/sep", 0x6ef75d6809953613),
+    ("clusters/wave", 0x3eb8b41ccf18da73),
+    ("bridge/sep", 0xb65b098f8bf306a3),
+    ("bridge/wave", 0x50ab3427bb19c320),
+    ("skewed/sep", 0xaeebab0b83bce0fd),
+    ("skewed/wave", 0xc30e1f3233cb3c53),
+    ("path/sep", 0x21c06c170b35d13d),
+    ("path/wave", 0x926e57a8b57d489d),
+];
+
+fn run_case(case: &Case) -> u64 {
+    let &(label, generator, params, seed, alg) = case;
+    let params: ParamMap = params.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+    let inst = registry::build_instance(generator, &params, seed)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let tuple = inst.admissible_tuple();
+    let mut sim = Sim::new(ConcreteWorld::new(&inst));
+    match alg {
+        "wave" => a_wave(&mut sim, &AWaveConfig { ell: tuple.ell }),
+        strategy => {
+            let strategy = match strategy {
+                "quadtree" => WakeStrategy::Quadtree,
+                "greedy" => WakeStrategy::Greedy,
+                "median" => WakeStrategy::MedianSplit,
+                "chain" => WakeStrategy::Chain,
+                other => panic!("unknown strategy {other}"),
+            };
+            a_separator(&mut sim, &ASeparatorConfig { tuple, strategy });
+        }
+    }
+    assert!(sim.world().all_awake(), "{label}: robots left asleep");
+    let (_, schedule, _) = sim.into_parts();
+    schedule_hash(&schedule)
+}
+
+#[test]
+fn schedules_match_seed_hashes() {
+    assert_eq!(CASES.len(), EXPECTED.len(), "pin table out of sync");
+    let mut failures = Vec::new();
+    for (case, &(label, want)) in CASES.iter().zip(EXPECTED) {
+        assert_eq!(case.0, label, "pin table out of sync at {label}");
+        let got = run_case(case);
+        if got != want {
+            failures.push(format!("{label}: got {got:#018x}, pinned {want:#018x}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "schedules diverged from the seed implementation:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Regeneration helper: prints the pin table (see module docs).
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn dump_seed_hashes() {
+    for case in CASES {
+        println!("    (\"{}\", {:#018x}),", case.0, run_case(case));
+    }
+}
