@@ -1,0 +1,139 @@
+//! Criterion benchmark of the sensing kernels: scalar vs wide membership
+//! scans, at three levels of the stack.
+//!
+//! * `kernel/*` — the raw `freezetag_graph::kernel` disk/rect scans over
+//!   realistic cell-window slices (both variants are always compiled, so
+//!   this comparison runs in every build configuration);
+//! * `grid/*` — `GridIndex::within_into` at `AWave`'s unit sensing radius
+//!   over a `wave_100k`-density swarm (whichever kernel the build
+//!   dispatches to — rerun with `--features simd` to flip it);
+//! * `world/*` — end-to-end `ConcreteWorld` sensing through
+//!   `look_batch_into`, the exact call the wave drivers make per slot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freezetag_geometry::Point;
+use freezetag_graph::{kernel, GridIndex};
+use freezetag_instances::generators::uniform_disk;
+use freezetag_sim::{ConcreteWorld, ParPool, WorldView};
+use std::hint::black_box;
+
+/// `wave_100k` is 10⁵ robots in a 200-radius disk (~0.8 robots per unit
+/// cell); the benches keep that density at a tamer point count.
+const N: usize = 20_000;
+
+fn radius_for(n: usize) -> f64 {
+    200.0 * (n as f64 / 100_000.0).sqrt()
+}
+
+/// Query centres spread across the swarm.
+fn centres(radius: f64, count: usize) -> Vec<Point> {
+    (0..count)
+        .map(|i| {
+            let a = i as f64 * 0.7;
+            let r = radius * ((i % 16) as f64 / 16.0);
+            Point::new(r * a.cos(), r * a.sin())
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(20);
+    // A flat SoA window like one GridIndex cell row: coordinates in a
+    // band so a realistic fraction (not all, not none) pass the tests.
+    for &len in &[8usize, 64, 1024] {
+        let xs: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
+        let ys: Vec<f64> = (0..len).map(|i| (i as f64 * 0.73).cos() * 2.0).collect();
+        let accept_sq = 1.0f64;
+        g.bench_with_input(BenchmarkId::new("disk_scalar", len), &len, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                kernel::disk_scan_scalar(&xs, &ys, 0.25, -0.5, accept_sq, |k| acc += k);
+                black_box(acc)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("disk_wide", len), &len, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                kernel::disk_scan_wide(&xs, &ys, 0.25, -0.5, accept_sq, |k| acc += k);
+                black_box(acc)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("rect_scalar", len), &len, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                kernel::rect_scan_scalar(&xs, &ys, -1.0, -1.0, 1.0, 1.0, |k| acc += k);
+                black_box(acc)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("rect_wide", len), &len, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                kernel::rect_scan_wide(&xs, &ys, -1.0, -1.0, 1.0, 1.0, |k| acc += k);
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_grid_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid");
+    g.sample_size(10);
+    let radius = radius_for(N);
+    let inst = uniform_disk(N, radius, 11);
+    let idx = GridIndex::build(inst.positions(), 1.0);
+    let qs = centres(radius, 4096);
+    let kernel_name = if cfg!(feature = "simd") {
+        "within_into/wide"
+    } else {
+        "within_into/scalar"
+    };
+    g.bench_with_input(BenchmarkId::new(kernel_name, N), &qs, |b, qs| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in qs {
+                idx.within_into(q, 1.0, &mut out);
+                acc += out.len();
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_world_sensing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    let radius = radius_for(N);
+    let inst = uniform_disk(N, radius, 11);
+    let mut world = ConcreteWorld::new(&inst);
+    let pool = ParPool::new(1);
+    let qs: Vec<(Point, f64)> = centres(radius, 4096)
+        .into_iter()
+        .map(|p| (p, 0.0))
+        .collect();
+    let kernel_name = if cfg!(feature = "simd") {
+        "look_batch/wide"
+    } else {
+        "look_batch/scalar"
+    };
+    g.bench_with_input(BenchmarkId::new(kernel_name, N), &qs, |b, qs| {
+        let mut flat = Vec::new();
+        let mut counts = Vec::new();
+        b.iter(|| {
+            world.look_batch_into(qs, &pool, &mut flat, &mut counts);
+            black_box(flat.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_grid_index,
+    bench_world_sensing
+);
+criterion_main!(benches);

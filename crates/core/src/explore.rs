@@ -19,6 +19,16 @@ use freezetag_sim::{Recorder, Sighting, Sim, WorldView};
 /// snapshot is **appended** to `queries` in the exact order the sequential
 /// loop would have looked.
 ///
+/// At most `⌈height/√2⌉` members actually sweep: rows spaced `√2` already
+/// certify the whole rectangle (Lemma 1's snapshot grid), so strips
+/// thinner than `√2` only duplicate coverage. Surplus members head
+/// straight to `endpoint` — same rendezvous time (sweepers bound the
+/// sync), same Lemma 1 duration `O(wh/k + w + h)`, but the snapshot count
+/// stays `Θ(area)` instead of growing with team size. Before this cap an
+/// `AWave` frontier team of 10⁴ robots re-swept each ring row thousands
+/// of times, which is where the ~5·10⁸ looks of a `wave_100k` run came
+/// from.
+///
 /// Callers resolve the accumulated queries with [`Sim::look_many_into`] —
 /// possibly pooling several explorations into one batch (a separator ring,
 /// a whole wave slot). Because no wake is committed between the moves of
@@ -35,10 +45,16 @@ pub(crate) fn sweep_queries<W: WorldView, R: Recorder>(
     endpoint: Point,
     queries: &mut Vec<(Point, f64)>,
 ) {
-    let strips = rect.horizontal_strips(team.len());
+    let needed = (rect.height() / freezetag_geometry::SQRT_2).ceil().max(1.0) as usize;
+    let active = team.len().min(needed);
+    let strips = rect.horizontal_strips(active);
     for (i, &robot) in team.members().iter().enumerate() {
-        // Teams may outnumber strips only when len > strips (never: strips
-        // = len); each member sweeps exactly one strip.
+        if i >= active {
+            // Surplus member: its strip would be redundant (see above), so
+            // it skips the sweep and waits at the rendezvous.
+            sim.move_to(robot, endpoint);
+            continue;
+        }
         let strip = &strips[i];
         let snaps = sweep::snapshot_positions(strip);
         sim.reserve_moves(robot, snaps.len() + 1);

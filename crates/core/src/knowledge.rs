@@ -262,15 +262,16 @@ impl Knowledge {
         });
     }
 
-    /// Calls `f(id, origin, awake)` for every known robot whose origin's
-    /// grid cell intersects `rect` inflated by `2 EPS`, in **unspecified
-    /// order** and **without** filtering origins against the rectangle —
-    /// callers apply their exact region predicate (any predicate with up
-    /// to `EPS` slack, e.g. `Rect::contains` or `Square::contains`, is
-    /// covered by the inflation).
+    /// Calls `f(id, origin, awake)` for every known robot whose origin
+    /// satisfies `rect.contains` (closed containment with `EPS` slack —
+    /// the test runs through the grid's rect membership kernel), in
+    /// **unspecified order**. Callers with a *stricter* predicate (ring
+    /// membership, quadrant ownership) still apply it in `f`; the `EPS`
+    /// slack guarantees no origin such a predicate accepts is filtered
+    /// out here first.
     #[inline]
     pub fn for_each_known_in_rect(&self, rect: &Rect, mut f: impl FnMut(RobotId, Point, bool)) {
-        self.grid.for_each_in_box(rect.min(), rect.max(), |gi, p| {
+        self.grid.for_each_in_rect(rect.min(), rect.max(), |gi, p| {
             let i = self.grid_robot[gi] as usize;
             if self.grid_slot[i] == gi as u32 {
                 f(RobotId::from_index(i), p, self.awake_at[i] == self.epoch);

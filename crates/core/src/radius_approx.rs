@@ -9,8 +9,27 @@ use crate::explore::explore;
 use crate::knowledge::Knowledge;
 use crate::sampling::df_sampling;
 use crate::team::Team;
-use freezetag_geometry::Square;
+use freezetag_geometry::{Separator, Square};
 use freezetag_sim::{Recorder, RobotId, Sim, WorldView};
+
+/// Whether any known origin lies in the separator ring: a bounded cell
+/// scan over the ring's rectangle decomposition (the rectangles tile the
+/// ring, so together they see every origin `sep.contains` accepts),
+/// instead of a full pass over everything known. The doubling search
+/// re-asks this each round over an ever-larger store, so the full scan
+/// was quadratic in discovered robots.
+fn any_known_in_separator(knowledge: &Knowledge, sep: &Separator) -> bool {
+    let mut found = false;
+    for rect in sep.rectangles() {
+        knowledge.for_each_known_in_rect(&rect, |_, origin, _| {
+            found = found || sep.contains(origin);
+        });
+        if found {
+            break;
+        }
+    }
+    found
+}
 
 /// Result of [`estimate_radius`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,7 +106,7 @@ pub fn estimate_radius<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, ell: f64)
         let width = ell * 2.0_f64.powi(i);
         let sq = Square::new(src, width);
         let sep = sq.separator(ell);
-        let mut found = knowledge.known_where(|p| sep.contains(p)).next().is_some();
+        let mut found = any_known_in_separator(&knowledge, &sep);
         if !found {
             for rect in sep.rectangles() {
                 let sightings = explore(sim, &team, &rect, rect.min());
@@ -151,6 +170,49 @@ mod tests {
         let est = estimate_radius(&mut sim, tuple.ell);
         assert!(est.exact);
         assert!((est.rho_hat - rho_star.max(tuple.ell)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_separator_scan_matches_full_scan() {
+        // Parity with the scan this helper replaced: `known_where(|p|
+        // sep.contains(p)).next().is_some()` over every known origin.
+        use freezetag_geometry::Point;
+        let mut k = Knowledge::with_cell_width(1.5);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rnd = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * 2.0 - 1.0
+        };
+        for i in 0..300 {
+            k.note_sighting(RobotId::sleeper(i), Point::new(rnd() * 40.0, rnd() * 40.0));
+        }
+        // Origins exactly on ring borders (hole corner, outer edge).
+        for (j, p) in [
+            Point::new(4.0, 4.0),
+            Point::new(5.0, 0.0),
+            Point::new(-5.0, -5.0),
+            Point::new(0.0, -4.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            k.note_sighting(RobotId::sleeper(300 + j), p);
+        }
+        for width in [2.0, 5.0, 10.0, 23.0, 77.0, 200.0] {
+            for ell in [0.5, 1.0, 3.0] {
+                for center in [Point::ORIGIN, Point::new(1.0, -2.0), Point::new(90.0, 90.0)] {
+                    let sep = Square::new(center, width).separator(ell);
+                    let want = k.known_where(|p| sep.contains(p)).next().is_some();
+                    assert_eq!(
+                        any_known_in_separator(&k, &sep),
+                        want,
+                        "width={width} ell={ell} center={center}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,21 @@
 //! cell directory is the same open-addressing `CellMap`
 //! the CSR index uses — so a bounded range query costs O(cells scanned +
 //! chain lengths), never O(points inserted).
+//!
+//! Membership tests run through the [`crate::kernel`] scans: each chain is
+//! gathered into small stack-resident coordinate buffers (preserving chain
+//! order) and the buffer is tested as one batch — the scalar kernel by
+//! default, the wide lane kernel under the `simd` feature, with identical
+//! emissions either way.
 
 use crate::cellmap::{CellMap, EMPTY};
+use crate::kernel;
 use freezetag_geometry::Point;
+
+/// Chain entries gathered per membership-kernel batch: large enough that
+/// typical cell chains (tens of points) take one or two batches, small
+/// enough to stay in registers/L1 as three stack arrays.
+const GATHER: usize = 32;
 
 /// Growable uniform-grid spatial index over an append-only point sequence.
 ///
@@ -128,12 +140,39 @@ impl CellGrid {
         self.cell = cell_width;
     }
 
+    /// Gathers the chain rooted at `head` into the stack buffers and hands
+    /// each batch to `scan` as `(indices, xs, ys)`. Batches preserve chain
+    /// order; returning `false` from `scan` stops the walk early.
+    #[inline]
+    fn gather_chain(&self, head: u32, mut scan: impl FnMut(&[u32], &[f64], &[f64]) -> bool) {
+        let mut idxs = [0u32; GATHER];
+        let mut xs = [0.0f64; GATHER];
+        let mut ys = [0.0f64; GATHER];
+        let mut cur = head;
+        while cur != EMPTY {
+            let mut n = 0;
+            while cur != EMPTY && n < GATHER {
+                let i = cur as usize;
+                idxs[n] = cur;
+                xs[n] = self.xs[i];
+                ys[n] = self.ys[i];
+                n += 1;
+                cur = self.next[i];
+            }
+            if !scan(&idxs[..n], &xs[..n], &ys[..n]) {
+                return;
+            }
+        }
+    }
+
     /// Calls `f(index, point)` for every point whose cell intersects the
     /// axis-aligned box `[min, max]` inflated by `2 EPS`, in unspecified
     /// order. Points themselves are **not** filtered against the box —
     /// callers apply their exact region predicate (which this inflation
     /// covers for any predicate with up to `EPS` slack, e.g.
-    /// `Rect::contains`).
+    /// `Rect::contains`). Prefer [`CellGrid::for_each_in_rect`] when the
+    /// predicate *is* closed rectangle containment — it runs the filter
+    /// through the membership kernel instead of per-point closure calls.
     pub fn for_each_in_box(&self, min: Point, max: Point, mut f: impl FnMut(usize, Point)) {
         let s = 2.0 * freezetag_geometry::EPS;
         let lo = CellMap::key_of(min - Point::new(s, s), self.cell);
@@ -153,6 +192,32 @@ impl CellGrid {
         }
     }
 
+    /// Calls `f(index, point)` for every point `p` with `min.x - EPS <=
+    /// p.x <= max.x + EPS` and likewise in `y` — exactly the acceptance of
+    /// `Rect::contains` on the rectangle `[min, max]` — in **unspecified
+    /// order**. The containment test runs through the rect membership
+    /// kernel over gathered chain batches.
+    pub fn for_each_in_rect(&self, min: Point, max: Point, mut f: impl FnMut(usize, Point)) {
+        let s = 2.0 * freezetag_geometry::EPS;
+        let lo = CellMap::key_of(min - Point::new(s, s), self.cell);
+        let hi = CellMap::key_of(max + Point::new(s, s), self.cell);
+        let eps = freezetag_geometry::EPS;
+        let (x0, y0, x1, y1) = (min.x - eps, min.y - eps, max.x + eps, max.y + eps);
+        for i in lo.0..=hi.0 {
+            for j in lo.1..=hi.1 {
+                let Some(head) = self.heads.get((i, j)) else {
+                    continue;
+                };
+                self.gather_chain(head, |idxs, xs, ys| {
+                    kernel::rect_scan(xs, ys, x0, y0, x1, y1, |k| {
+                        f(idxs[k] as usize, Point::new(xs[k], ys[k]));
+                    });
+                    true
+                });
+            }
+        }
+    }
+
     /// Calls `f(index, point)` for every point within Euclidean distance
     /// `r` of `q` (inclusive, with the same `EPS` slack as
     /// [`crate::GridIndex::within_into`]), in **unspecified order**. Use
@@ -165,20 +230,18 @@ impl CellGrid {
         let lo = CellMap::key_of(q - Point::new(rr, rr), self.cell);
         let hi = CellMap::key_of(q + Point::new(rr, rr), self.cell);
         let accept = r + freezetag_geometry::EPS;
+        let accept_sq = accept * accept;
         for i in lo.0..=hi.0 {
             for j in lo.1..=hi.1 {
                 let Some(head) = self.heads.get((i, j)) else {
                     continue;
                 };
-                let mut cur = head;
-                while cur != EMPTY {
-                    let idx = cur as usize;
-                    let p = Point::new(self.xs[idx], self.ys[idx]);
-                    if p.dist(q) <= accept {
-                        f(idx, p);
-                    }
-                    cur = self.next[idx];
-                }
+                self.gather_chain(head, |idxs, xs, ys| {
+                    kernel::disk_scan(xs, ys, q.x, q.y, accept_sq, |k| {
+                        f(idxs[k] as usize, Point::new(xs[k], ys[k]));
+                    });
+                    true
+                });
             }
         }
     }
@@ -191,25 +254,28 @@ impl CellGrid {
         out.sort_unstable();
     }
 
-    /// Whether any point lies within distance `r` of `q`.
+    /// Whether any point lies within distance `r` of `q` (same acceptance
+    /// as [`CellGrid::for_each_within`]). Early-exits on the first batch
+    /// containing a hit.
     pub fn any_within(&self, q: Point, r: f64) -> bool {
         let r = r.max(0.0);
         let rr = r + 2.0 * freezetag_geometry::EPS;
         let lo = CellMap::key_of(q - Point::new(rr, rr), self.cell);
         let hi = CellMap::key_of(q + Point::new(rr, rr), self.cell);
         let accept = r + freezetag_geometry::EPS;
+        let accept_sq = accept * accept;
+        let mut hit = false;
         for i in lo.0..=hi.0 {
             for j in lo.1..=hi.1 {
                 let Some(head) = self.heads.get((i, j)) else {
                     continue;
                 };
-                let mut cur = head;
-                while cur != EMPTY {
-                    let idx = cur as usize;
-                    if Point::new(self.xs[idx], self.ys[idx]).dist(q) <= accept {
-                        return true;
-                    }
-                    cur = self.next[idx];
+                self.gather_chain(head, |_, xs, ys| {
+                    hit = kernel::disk_any(xs, ys, q.x, q.y, accept_sq);
+                    !hit
+                });
+                if hit {
+                    return true;
                 }
             }
         }

@@ -81,6 +81,12 @@ impl CellWindow {
 /// rejection outside the box) backed by the open-addressing `CellMap`
 /// for point sets too spread out to enumerate densely.
 ///
+/// The build additionally stores a cell-ordered copy of the coordinates
+/// (the `xs`/`ys` permuted into CSR order), so a cell scan is a pair of
+/// contiguous slice loads feeding the [`crate::kernel`] membership
+/// kernels — scalar by default, the wide lane kernel under the `simd`
+/// cargo feature, with identical results either way.
+///
 /// # Example
 ///
 /// ```
@@ -106,6 +112,12 @@ pub struct GridIndex {
     starts: Vec<u32>,
     /// Point indices grouped by cell, ascending within each cell.
     order: Vec<u32>,
+    /// Coordinates permuted into `order`'s layout (`cxs[k] ==
+    /// xs[order[k]]`): cell scans read these contiguously instead of
+    /// gathering through `order`, which is what lets the membership
+    /// kernel vectorize.
+    cxs: Vec<f64>,
+    cys: Vec<f64>,
 }
 
 impl GridIndex {
@@ -196,6 +208,12 @@ impl GridIndex {
             cell_width,
             (1 << 16).max(Self::WINDOW_BUDGET_PER_POINT * n),
         );
+        let mut cxs = Vec::with_capacity(n);
+        let mut cys = Vec::with_capacity(n);
+        for &i in &order {
+            cxs.push(xs[i as usize]);
+            cys.push(ys[i as usize]);
+        }
         GridIndex {
             xs,
             ys,
@@ -204,6 +222,8 @@ impl GridIndex {
             window,
             starts,
             order,
+            cxs,
+            cys,
         }
     }
 
@@ -250,30 +270,33 @@ impl GridIndex {
     /// cell directory and the dense window), for the experiment engine's
     /// memory accounting.
     pub fn memory_bytes(&self) -> usize {
-        self.xs.len() * 16
+        // xs/ys plus the cell-ordered copies: 32 bytes of coordinates per
+        // point.
+        self.xs.len() * 32
             + self.order.len() * 4
             + self.starts.len() * 4
             + self.cells.len() * (16 + 4)
             + self.window.as_ref().map_or(0, |w| w.ids.len() * 4)
     }
 
-    /// Appends the in-range points of cell `cid` to `out`.
+    /// Appends the in-range points of cell `cid` to `out`: one contiguous
+    /// membership-kernel scan over the cell's coordinate slice.
     #[inline]
-    fn scan_cell(&self, cid: u32, q: Point, accept: f64, out: &mut Vec<usize>) {
+    fn scan_cell(&self, cid: u32, q: Point, accept_sq: f64, out: &mut Vec<usize>) {
         let (a, b) = (
             self.starts[cid as usize] as usize,
             self.starts[cid as usize + 1] as usize,
         );
-        for &idx in &self.order[a..b] {
-            let idx = idx as usize;
-            if self.point(idx).dist(q) <= accept {
-                out.push(idx);
-            }
-        }
+        let order = &self.order[a..b];
+        crate::kernel::disk_scan(&self.cxs[a..b], &self.cys[a..b], q.x, q.y, accept_sq, |k| {
+            out.push(order[k] as usize)
+        });
     }
 
     /// Indices of all points within Euclidean distance `r` of `q`
-    /// (inclusive, with `EPS` slack), appended to `out` in ascending index
+    /// (inclusive, with `EPS` slack: a point `p` is accepted iff
+    /// `|p - q|² <= (r + EPS)²`, evaluated in squared form so the kernel
+    /// never takes a square root), appended to `out` in ascending index
     /// order. `out` is cleared first; reusing one buffer across queries
     /// makes the hot `look` path allocation-free after warm-up.
     pub fn within_into(&self, q: Point, r: f64, out: &mut Vec<usize>) {
@@ -299,6 +322,7 @@ impl GridIndex {
                 let lo = Self::key(q - Point::new(rr, rr), self.cell);
                 let hi = Self::key(q + Point::new(rr, rr), self.cell);
                 let accept = r + freezetag_geometry::EPS;
+                let accept_sq = accept * accept;
                 // Clamp the scan to the occupied bounding box; row slices
                 // so the inner loop is a plain array walk.
                 let (i0, i1) = (lo.0.max(win.min.0), hi.0.min(win.min.0 + win.w - 1));
@@ -308,7 +332,7 @@ impl GridIndex {
                         let base = ((j - win.min.1) * win.w + (i0 - win.min.0)) as usize;
                         for &cid in &win.ids[base..=base + (i1 - i0) as usize] {
                             if cid != EMPTY {
-                                self.scan_cell(cid, q, accept, out);
+                                self.scan_cell(cid, q, accept_sq, out);
                             }
                         }
                     }
@@ -322,10 +346,11 @@ impl GridIndex {
                 let lo = Self::key(q - Point::new(rr, rr), self.cell);
                 let hi = Self::key(q + Point::new(rr, rr), self.cell);
                 let accept = r + freezetag_geometry::EPS;
+                let accept_sq = accept * accept;
                 for i in lo.0..=hi.0 {
                     for j in lo.1..=hi.1 {
                         if let Some(cid) = self.cells.get((i, j)) {
-                            self.scan_cell(cid, q, accept, out);
+                            self.scan_cell(cid, q, accept_sq, out);
                         }
                     }
                 }
@@ -439,6 +464,8 @@ mod tests {
             assert_eq!(a.ys, b.ys);
             assert_eq!(a.starts, b.starts);
             assert_eq!(a.order, b.order);
+            assert_eq!(a.cxs, b.cxs);
+            assert_eq!(a.cys, b.cys);
             assert_eq!(a.cells, b.cells);
             assert_eq!(a.window, b.window);
         }

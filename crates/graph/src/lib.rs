@@ -33,11 +33,21 @@
 //! let g = DiskGraph::new(pts, 1.5);
 //! assert!(g.is_connected());
 //! ```
+//!
+//! # Features
+//!
+//! * `simd` — dispatch the range-query membership tests to the wide
+//!   (4-lane) kernels in [`kernel`] instead of the scalar ones. Pure
+//!   speed: results are byte-identical either way (both kernels are
+//!   always compiled and pinned against each other by parity proptests).
+
+#![warn(missing_docs)]
 
 mod cellgrid;
 mod cellmap;
 mod diskgraph;
 mod index;
+pub mod kernel;
 mod params;
 mod traversal;
 mod unionfind;

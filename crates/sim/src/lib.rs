@@ -44,6 +44,8 @@
 //! assert!(sim.world().all_awake());
 //! ```
 
+#![warn(missing_docs)]
+
 mod adversary;
 mod error;
 pub mod events;

@@ -202,29 +202,37 @@ const CASES: &[Case] = &[
     ("path/wave", "theorem6", &[], 1, "wave"),
 ];
 
-/// Hashes captured on the seed implementation (see module docs).
+/// Pinned hashes (see module docs). Captured on the seed (BTreeMap
+/// knowledge) implementation, re-captured once at the sweeper cap of the
+/// kernel PR: `explore` stopped cutting a rectangle into more strips than
+/// `⌈height/√2⌉` (surplus members duplicate coverage — snapshot rows `√2`
+/// apart already certify the rectangle), an intentional schedule change
+/// that cut `wave_100k` sensing volume ~40×. Cases whose teams never
+/// exceeded the cap (e.g. `disk/sep/s2`, `skewed/sep`) kept their seed
+/// hashes — everything else was regenerated with the helper below. The
+/// pins must be identical with and without `--features simd`.
 const EXPECTED: &[(&str, u64)] = &[
-    ("disk/sep", 0x10c2807dbbf09ee7),
-    ("disk/sep/greedy", 0x059d2a4796ecabce),
-    ("disk/sep/median", 0x0523879ea49554ca),
-    ("disk/sep/chain", 0xb0604225c11ff7ac),
+    ("disk/sep", 0xe8b19251361f8ebe),
+    ("disk/sep/greedy", 0x8597de3834af1466),
+    ("disk/sep/median", 0xcbf48a114d6907ba),
+    ("disk/sep/chain", 0xc7afb6c88c1e7f5f),
     ("disk/sep/s2", 0x4f218b22ea769d66),
-    ("disk/wave", 0x848d8ac42dc92946),
-    ("disk/wave/s2", 0x539923053a84edc0),
-    ("lattice/sep", 0x9ddc606747317e3d),
-    ("lattice/wave", 0xefe4771a62f5513e),
-    ("snake/sep", 0xc8ee46b2a5887de7),
-    ("snake/wave", 0x13d2b5c0d04e2aa6),
-    ("ring/sep", 0xf4b884e3d32eff79),
-    ("ring/wave", 0xf8a5af83a2dd1707),
-    ("clusters/sep", 0x6ef75d6809953613),
-    ("clusters/wave", 0x3eb8b41ccf18da73),
-    ("bridge/sep", 0xb65b098f8bf306a3),
-    ("bridge/wave", 0x50ab3427bb19c320),
+    ("disk/wave", 0x17d88f61ad40115c),
+    ("disk/wave/s2", 0x9abf1936779ef843),
+    ("lattice/sep", 0x4abe02ba36adc7c4),
+    ("lattice/wave", 0xd3fd1edf9f44d4f5),
+    ("snake/sep", 0xddb1ad02ad477114),
+    ("snake/wave", 0x4f4236f67795703d),
+    ("ring/sep", 0x1f2cfd6f9acd785c),
+    ("ring/wave", 0x5fc0be2599db9c6b),
+    ("clusters/sep", 0xd224c4a5faed205c),
+    ("clusters/wave", 0xece2f1d83ec31b6a),
+    ("bridge/sep", 0xccae106417288cc5),
+    ("bridge/wave", 0xc2e7a0b7d7151979),
     ("skewed/sep", 0xaeebab0b83bce0fd),
-    ("skewed/wave", 0xc30e1f3233cb3c53),
-    ("path/sep", 0x21c06c170b35d13d),
-    ("path/wave", 0x926e57a8b57d489d),
+    ("skewed/wave", 0x578246a75c75fc86),
+    ("path/sep", 0x96eb296bbfd92b73),
+    ("path/wave", 0x18bbf95e47bbb5b5),
 ];
 
 fn run_case(case: &Case) -> u64 {
