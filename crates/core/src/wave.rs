@@ -98,8 +98,9 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
         0,
     );
     let t0_bound = separator_bound(r, ell);
-    let wakes_so_far = sim.wakes().len();
-    let mut frontier: Vec<RobotId> = sim.wakes().iter().map(|w| w.target).collect();
+    let wakes_so_far = sim.wake_count();
+    let mut frontier: Vec<RobotId> = Vec::with_capacity(wakes_so_far + 1);
+    sim.for_each_wake_from(0, |w| frontier.push(w.target));
     frontier.push(RobotId::SOURCE);
     let t_round0_end = sim.time(RobotId::SOURCE);
     sim.trace_mut().record(
@@ -116,7 +117,7 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
     let slot = wave_slot(r, ell);
     let mut round_start = t0_bound + 4.5 * r;
     let mut round = 1usize;
-    let mut prev_wake_len = sim.wakes().len();
+    let mut prev_wake_len = sim.wake_count();
     while !frontier.is_empty() {
         // Teams form at the lower-left corner of each populated square.
         let groups = crate::grid::bucket_by_cell(sim, &frontier, &cell_of);
@@ -165,12 +166,9 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
                 );
             }
         }
-        let all_wakes = sim.wakes();
-        frontier = all_wakes[prev_wake_len..]
-            .iter()
-            .map(|w| w.target)
-            .collect();
-        prev_wake_len = all_wakes.len();
+        frontier = Vec::new();
+        sim.for_each_wake_from(prev_wake_len, |w| frontier.push(w.target));
+        prev_wake_len = sim.wake_count();
         sim.trace_mut().record(
             format!("wave/round{round}"),
             round_start,

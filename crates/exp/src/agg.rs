@@ -123,6 +123,102 @@ pub fn aggregate(results: &[JobResult]) -> Vec<Aggregate> {
         .collect()
 }
 
+/// One (scenario, algorithm) cell being accumulated by [`StreamingAgg`]:
+/// the per-quantity observation vectors, in arrival order.
+struct GroupAcc {
+    scenario: String,
+    generator: String,
+    algorithm: String,
+    n: usize,
+    makespan: Vec<f64>,
+    max_energy: Vec<f64>,
+    total_energy: Vec<f64>,
+    looks: Vec<f64>,
+    peak_mem_bytes: Vec<f64>,
+    all_awake: bool,
+    wall_time_s: f64,
+}
+
+/// Incremental counterpart of [`aggregate`] for streaming sweeps: feed it
+/// each [`JobResult`] as it is emitted (dropping the result afterwards)
+/// and [`StreamingAgg::finish`] produces aggregates bit-identical to
+/// `aggregate(&all_results)` — same first-appearance grouping, same
+/// nearest-rank percentiles over the same observation order. Memory is
+/// `O(groups × seeds)` observations instead of `O(jobs)` full results
+/// (a `JobResult` carries strings; an observation is one `f64`).
+#[derive(Default)]
+pub struct StreamingAgg {
+    groups: Vec<GroupAcc>,
+}
+
+impl StreamingAgg {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingAgg { groups: Vec::new() }
+    }
+
+    /// Folds one job result into its (scenario, algorithm) cell. Feed
+    /// results in job order to reproduce [`aggregate`]'s output exactly.
+    pub fn push(&mut self, r: &JobResult) {
+        let group = match self
+            .groups
+            .iter_mut()
+            .find(|g| g.scenario == r.scenario && g.algorithm == r.algorithm)
+        {
+            Some(g) => g,
+            None => {
+                self.groups.push(GroupAcc {
+                    scenario: r.scenario.clone(),
+                    generator: r.generator.clone(),
+                    algorithm: r.algorithm.clone(),
+                    n: r.n,
+                    makespan: Vec::new(),
+                    max_energy: Vec::new(),
+                    total_energy: Vec::new(),
+                    looks: Vec::new(),
+                    peak_mem_bytes: Vec::new(),
+                    all_awake: true,
+                    wall_time_s: 0.0,
+                });
+                self.groups.last_mut().expect("just pushed")
+            }
+        };
+        group.makespan.push(r.makespan);
+        group.max_energy.push(r.max_energy);
+        group.total_energy.push(r.total_energy);
+        group.looks.push(r.looks as f64);
+        group.peak_mem_bytes.push(r.peak_mem_bytes);
+        group.all_awake &= r.all_awake;
+        group.wall_time_s += r.wall_time_s;
+    }
+
+    /// Number of job results pushed so far.
+    pub fn job_count(&self) -> usize {
+        self.groups.iter().map(|g| g.makespan.len()).sum()
+    }
+
+    /// Computes the per-cell statistics, in first-appearance order.
+    pub fn finish(self) -> Vec<Aggregate> {
+        self.groups
+            .into_iter()
+            .map(|g| Aggregate {
+                seeds: g.makespan.len(),
+                makespan: Stats::compute(&g.makespan),
+                max_energy: Stats::compute(&g.max_energy),
+                total_energy: Stats::compute(&g.total_energy),
+                looks: Stats::compute(&g.looks),
+                peak_mem_bytes: Stats::compute(&g.peak_mem_bytes),
+                scenario: g.scenario,
+                generator: g.generator,
+                algorithm: g.algorithm,
+                n: g.n,
+                all_awake: g.all_awake,
+                wall_time_s: g.wall_time_s,
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +268,29 @@ mod tests {
         let unmeasured = Stats::compute(&[f64::NAN, f64::NAN]);
         assert!(unmeasured.mean.is_nan());
         assert!(unmeasured.p95.is_nan());
+    }
+
+    #[test]
+    fn streaming_agg_matches_batch_aggregate_exactly() {
+        let mut results = vec![
+            job("a", "AGrid", 10.0),
+            job("a", "AGrid", 20.0),
+            job("a", "AWave", 5.0),
+            job("b", "AGrid", 1.0),
+            job("b", "AGrid", 3.0),
+            job("a", "AGrid", 30.0),
+        ];
+        // Unmeasured quantities (NaN observations) must be filtered the
+        // same way; the cell keeps a finite observation so the resulting
+        // statistics stay comparable with `==`.
+        results[3].max_energy = f64::NAN;
+        results[3].all_awake = false;
+        let mut streaming = StreamingAgg::new();
+        for r in &results {
+            streaming.push(r);
+        }
+        assert_eq!(streaming.job_count(), results.len());
+        assert_eq!(streaming.finish(), aggregate(&results));
     }
 
     #[test]

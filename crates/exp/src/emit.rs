@@ -11,6 +11,7 @@ use crate::agg::{Aggregate, Stats};
 use crate::plan::ExperimentPlan;
 use crate::runner::JobResult;
 use std::fmt::Write as _;
+use std::io;
 
 /// Formats a float as a JSON number (`null` when non-finite).
 fn num(x: f64) -> String {
@@ -82,24 +83,33 @@ fn job_json(r: &JobResult, include_wall_time: bool) -> String {
     out
 }
 
+/// One job as a single JSON-lines record (no trailing newline, wall time
+/// included). [`jobs_to_jsonl`] is exactly these lines joined by `\n` —
+/// the contract that makes the streaming `--out` path byte-identical to
+/// the buffered one.
+pub fn job_to_jsonl_line(r: &JobResult) -> String {
+    job_json(r, true)
+}
+
 /// One JSON object per line, one line per job (includes wall time, so not
 /// byte-stable across machines — use [`aggregates_to_json`] for that).
 pub fn jobs_to_jsonl(results: &[JobResult]) -> String {
     let mut out = String::new();
     for r in results {
-        out.push_str(&job_json(r, true));
+        out.push_str(&job_to_jsonl_line(r));
         out.push('\n');
     }
     out
 }
 
-/// CSV with a header row, one row per job.
-pub fn jobs_to_csv(results: &[JobResult]) -> String {
-    let mut out = String::from(
-        "job,scenario,generator,algorithm,seed,seed_index,n,ell,rho,xi_ell,\
-         makespan,completion_time,max_energy,total_energy,looks,all_awake,\
-         peak_mem_bytes,wall_time_s\n",
-    );
+/// The CSV header row emitted by [`jobs_to_csv`] (no trailing newline).
+pub const CSV_HEADER: &str = "job,scenario,generator,algorithm,seed,seed_index,n,ell,rho,xi_ell,\
+     makespan,completion_time,max_energy,total_energy,looks,all_awake,\
+     peak_mem_bytes,wall_time_s";
+
+/// One job as a single CSV row (no trailing newline). [`jobs_to_csv`] is
+/// [`CSV_HEADER`] plus exactly these rows.
+pub fn job_to_csv_row(r: &JobResult) -> String {
     let csv_field = |s: &str| -> String {
         if s.contains(',') || s.contains('"') {
             format!("\"{}\"", s.replace('"', "\"\""))
@@ -115,31 +125,117 @@ pub fn jobs_to_csv(results: &[JobResult]) -> String {
             String::new()
         }
     };
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.job,
+        csv_field(&r.scenario),
+        csv_field(&r.generator),
+        csv_field(&r.algorithm),
+        r.seed,
+        r.seed_index,
+        r.n,
+        r.ell,
+        r.rho,
+        r.xi_ell.map_or(String::new(), csv_num),
+        csv_num(r.makespan),
+        csv_num(r.completion_time),
+        csv_num(r.max_energy),
+        csv_num(r.total_energy),
+        r.looks,
+        r.all_awake,
+        csv_num(r.peak_mem_bytes),
+        r.wall_time_s,
+    )
+}
+
+/// CSV with a header row, one row per job.
+pub fn jobs_to_csv(results: &[JobResult]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
     for r in results {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            r.job,
-            csv_field(&r.scenario),
-            csv_field(&r.generator),
-            csv_field(&r.algorithm),
-            r.seed,
-            r.seed_index,
-            r.n,
-            r.ell,
-            r.rho,
-            r.xi_ell.map_or(String::new(), csv_num),
-            csv_num(r.makespan),
-            csv_num(r.completion_time),
-            csv_num(r.max_energy),
-            csv_num(r.total_energy),
-            r.looks,
-            r.all_awake,
-            csv_num(r.peak_mem_bytes),
-            r.wall_time_s,
-        );
+        let _ = writeln!(out, "{}", job_to_csv_row(r));
     }
     out
+}
+
+/// Incremental per-job record writer for streaming sweeps: each
+/// [`JobResult`] is rendered (JSON-lines record or CSV row, chosen at
+/// construction) and written the moment it arrives, with an explicit
+/// flush every `flush_every` records so a long sweep's partial output is
+/// durable at a known cadence. The byte stream is identical to the
+/// buffered [`jobs_to_jsonl`] / [`jobs_to_csv`] output for the same
+/// results.
+pub struct JobStreamWriter<W: io::Write> {
+    inner: W,
+    csv: bool,
+    flush_every: usize,
+    unflushed: usize,
+    written: usize,
+}
+
+impl<W: io::Write> JobStreamWriter<W> {
+    /// A JSON-lines streamer. `flush_every` is clamped to at least 1.
+    pub fn jsonl(inner: W, flush_every: usize) -> Self {
+        JobStreamWriter {
+            inner,
+            csv: false,
+            flush_every: flush_every.max(1),
+            unflushed: 0,
+            written: 0,
+        }
+    }
+
+    /// A CSV streamer; writes the header row immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn csv(mut inner: W, flush_every: usize) -> io::Result<Self> {
+        writeln!(inner, "{CSV_HEADER}")?;
+        Ok(JobStreamWriter {
+            inner,
+            csv: true,
+            flush_every: flush_every.max(1),
+            unflushed: 0,
+            written: 0,
+        })
+    }
+
+    /// Writes one record, flushing when the cadence comes due.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write or flush error.
+    pub fn write(&mut self, r: &JobResult) -> io::Result<()> {
+        let line = if self.csv {
+            job_to_csv_row(r)
+        } else {
+            job_to_jsonl_line(r)
+        };
+        writeln!(self.inner, "{line}")?;
+        self.written += 1;
+        self.unflushed += 1;
+        if self.unflushed >= self.flush_every {
+            self.inner.flush()?;
+            self.unflushed = 0;
+        }
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flushes any tail shorter than the cadence and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
 }
 
 fn aggregate_json(a: &Aggregate, include_wall_time: bool) -> String {
@@ -370,6 +466,54 @@ mod tests {
         assert!(
             lines[2].contains("| - |"),
             "NaN must render as dash: {text}"
+        );
+    }
+
+    #[test]
+    fn stream_writers_reproduce_the_buffered_output_byte_for_byte() {
+        let (_, results) = sample();
+        let mut jsonl = JobStreamWriter::jsonl(Vec::new(), 1);
+        let mut csv = JobStreamWriter::csv(Vec::new(), 3).unwrap();
+        for r in &results {
+            jsonl.write(r).unwrap();
+            csv.write(r).unwrap();
+        }
+        assert_eq!(jsonl.written(), 2);
+        let jsonl = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+        let csv = String::from_utf8(csv.finish().unwrap()).unwrap();
+        assert_eq!(jsonl, jobs_to_jsonl(&results));
+        assert_eq!(csv, jobs_to_csv(&results));
+    }
+
+    #[test]
+    fn stream_writer_flushes_at_the_requested_cadence() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct CountingSink(Arc<AtomicUsize>);
+        impl io::Write for CountingSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+
+        let (_, results) = sample();
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let mut w = JobStreamWriter::jsonl(CountingSink(flushes.clone()), 2);
+        w.write(&results[0]).unwrap();
+        assert_eq!(flushes.load(Ordering::Relaxed), 0, "cadence not due yet");
+        w.write(&results[1]).unwrap();
+        assert_eq!(flushes.load(Ordering::Relaxed), 1, "flush every 2 records");
+        w.write(&results[0]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(
+            flushes.load(Ordering::Relaxed),
+            2,
+            "finish flushes the tail"
         );
     }
 

@@ -24,8 +24,9 @@
 //! * [`plan`] — [`ScenarioSpec`], [`AlgSpec`], [`ExperimentPlan`], job
 //!   cross-product and validation;
 //! * [`runner`] — the worker pool, per-job execution (concrete and
-//!   adversarial worlds), [`JobResult`], and [`run_single`] for harnesses
-//!   that need the schedule/trace of one run;
+//!   adversarial worlds), [`JobResult`], [`run_single`] for harnesses
+//!   that need the schedule/trace of one run, and [`run_plan_streaming`]
+//!   for sweeps whose results go straight to disk instead of a vector;
 //! * [`agg`] — grouping job results into [`Aggregate`]s with
 //!   mean/min/max/p50/p95 statistics;
 //! * [`emit`] — JSON-lines, CSV, aggregated JSON, and the
@@ -54,10 +55,12 @@ mod error;
 pub mod plan;
 pub mod runner;
 
-pub use agg::{aggregate, Aggregate, Stats};
+pub use agg::{aggregate, Aggregate, Stats, StreamingAgg};
+pub use emit::JobStreamWriter;
 pub use error::ExpError;
 pub use plan::{derive_seed, AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
 pub use runner::{
-    inter_job_workers, run_plan, run_single, run_single_stats, run_single_stats_with,
-    run_single_with, JobResult, SingleRun, StatsRun,
+    inter_job_workers, run_plan, run_plan_streaming, run_single, run_single_compressed,
+    run_single_compressed_with, run_single_stats, run_single_stats_with, run_single_with,
+    CompressedRun, JobResult, SingleRun, StatsRun,
 };

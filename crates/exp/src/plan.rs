@@ -181,7 +181,10 @@ impl fmt::Display for AlgSpec {
 /// the adversarial theorem checks. `Stats` records constant memory per
 /// robot (wake time, travel, current state) and skips validation, which is
 /// what makes 10⁵–10⁶-robot sweeps tractable; its aggregates are
-/// bit-identical to the full recorder's.
+/// bit-identical to the full recorder's. `Compressed` keeps the full
+/// schedule in a delta-encoded block format (~an order of magnitude
+/// smaller than `Full`) and still validates every run through the
+/// streaming validator — full-fidelity checking at `Stats`-like scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Profile {
     /// Full schedules + independent validation (+ ξ_ℓ measurement).
@@ -189,10 +192,12 @@ pub enum Profile {
     Full,
     /// Constant-memory aggregates, no validation, no ξ_ℓ.
     Stats,
+    /// Compressed schedules + streaming validation, no ξ_ℓ.
+    Compressed,
 }
 
 impl Profile {
-    /// Parses the CLI syntax: `full` or `stats`.
+    /// Parses the CLI syntax: `full`, `stats` or `compressed`.
     ///
     /// # Errors
     ///
@@ -201,8 +206,9 @@ impl Profile {
         match text.trim() {
             "full" => Ok(Profile::Full),
             "stats" => Ok(Profile::Stats),
+            "compressed" => Ok(Profile::Compressed),
             other => Err(ExpError::InvalidPlan(format!(
-                "unknown profile '{other}' (full|stats)"
+                "unknown profile '{other}' (full|stats|compressed)"
             ))),
         }
     }
@@ -213,6 +219,7 @@ impl fmt::Display for Profile {
         match self {
             Profile::Full => write!(f, "full"),
             Profile::Stats => write!(f, "stats"),
+            Profile::Compressed => write!(f, "compressed"),
         }
     }
 }
@@ -379,10 +386,10 @@ impl ExperimentPlan {
                         alg.label()
                     )));
                 }
-                if self.profile == Profile::Stats {
+                if self.profile != Profile::Full {
                     // The adversarial theorem checks replay full schedules
-                    // against the pinned positions; without segments there
-                    // is nothing to replay.
+                    // against the pinned positions; the stats and
+                    // compressed recorders cannot hand over a `Schedule`.
                     return Err(ExpError::InvalidPlan(format!(
                         "scenario '{}' is adversarial and requires the full profile",
                         spec.name
@@ -513,6 +520,27 @@ mod tests {
         assert!(plan.clone().sim_threads(4).validate().is_ok());
         let err = plan.sim_threads(0).validate().unwrap_err();
         assert!(err.to_string().contains("sim_threads"), "{err}");
+    }
+
+    #[test]
+    fn profile_parse_round_trips_all_variants() {
+        for p in [Profile::Full, Profile::Stats, Profile::Compressed] {
+            assert_eq!(Profile::parse(&p.to_string()).unwrap(), p);
+        }
+        let err = Profile::parse("fast").unwrap_err();
+        assert!(err.to_string().contains("compressed"), "{err}");
+    }
+
+    #[test]
+    fn adversarial_scenarios_reject_every_non_full_profile() {
+        let base = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("theorem2"))
+            .algorithm(Algorithm::Separator);
+        assert!(base.clone().validate().is_ok());
+        for profile in [Profile::Stats, Profile::Compressed] {
+            let err = base.clone().profile(profile).validate().unwrap_err();
+            assert!(err.to_string().contains("full profile"), "{err}");
+        }
     }
 
     #[test]

@@ -11,11 +11,12 @@ use freezetag_geometry::Point;
 use freezetag_instances::registry::{self, Built};
 use freezetag_instances::{AdmissibleTuple, Instance};
 use freezetag_sim::{
-    validate, AdversarialWorld, ConcreteWorld, ParPool, Recorder, RobotId, Schedule, Sim,
-    ValidationOptions, WorldView,
+    validate, validate_compressed, AdversarialWorld, ConcreteWorld, ParPool, Recorder, RobotId,
+    Schedule, Sim, ValidationOptions, WorldView,
 };
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Everything measured on one job of a plan. Every field except
@@ -410,6 +411,122 @@ pub fn run_single_stats_with(
     })
 }
 
+/// The measurements of one compressed-recorder run: the aggregate numbers
+/// of a [`StatsRun`] plus the codec's own footprint figures. Unlike the
+/// stats path, every compressed run has passed the streaming validator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressedRun {
+    /// Number of sleeping robots.
+    pub n: usize,
+    /// Connectivity parameter ℓ handed to the algorithm.
+    pub ell: f64,
+    /// Radius bound ρ handed to the algorithm.
+    pub rho: f64,
+    /// Time the last robot was woken.
+    pub makespan: f64,
+    /// Time the last robot stopped moving.
+    pub completion_time: f64,
+    /// Worst per-robot travel.
+    pub max_energy: f64,
+    /// Total travel of the swarm.
+    pub total_energy: f64,
+    /// `look` snapshots taken.
+    pub looks: usize,
+    /// Whether every robot ended awake.
+    pub all_awake: bool,
+    /// Recorder heap footprint (deterministic estimate, bytes).
+    pub peak_mem_bytes: usize,
+    /// Encoded schedule payload alone (segment + wake streams, bytes).
+    pub compressed_bytes: usize,
+    /// Encoded payload divided by the number of recorded move segments.
+    pub bytes_per_move: f64,
+}
+
+/// Runs one scenario × algorithm × seed combination under the
+/// [`freezetag_sim::CompressedRecorder`]: the full schedule is kept in
+/// delta-encoded blocks (~an order of magnitude smaller than the flat
+/// segment store) and the run is checked by the streaming validator,
+/// block by block — full-fidelity validation at `--profile stats` scale.
+/// No ξ_ℓ is measured. The aggregate numbers match a full-profile run
+/// bit-for-bit. This is the execution path behind `--profile compressed`.
+///
+/// # Errors
+///
+/// Registry errors, validation failures, or [`ExpError::Unsupported`] for
+/// non-distributed algorithms and adversarial scenarios (the theorem
+/// checks need a materialized [`Schedule`]).
+pub fn run_single_compressed(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+) -> Result<CompressedRun, ExpError> {
+    run_single_compressed_with(spec, alg, seed, ParPool::sequential())
+}
+
+/// [`run_single_compressed`] with an explicit [`ParPool`] for
+/// deterministic intra-run parallelism — the
+/// `--profile compressed --sim-threads` execution path. All returned
+/// numbers (including `peak_mem_bytes`) are bit-identical for any pool
+/// width.
+///
+/// # Errors
+///
+/// As [`run_single_compressed`].
+pub fn run_single_compressed_with(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+    pool: ParPool,
+) -> Result<CompressedRun, ExpError> {
+    let AlgSpec::Distributed {
+        algorithm,
+        strategy,
+    } = alg
+    else {
+        return Err(ExpError::Unsupported(format!(
+            "run_single_compressed needs a distributed algorithm, got {}",
+            alg.label()
+        )));
+    };
+    let inst = registry::build_instance(&spec.generator, &spec.params, seed)
+        .map_err(|e| ExpError::Registry(format!("scenario '{}': {e}", spec.name)))?;
+    let tuple = tuple_for(spec, &inst, &pool)?;
+    // The instance stays alive (unlike the stats path): the streaming
+    // validator needs the initial positions to check wake sites.
+    let world = ConcreteWorld::with_pool(&inst, &pool);
+    let mut sim = Sim::with_compressed(world).with_pool(pool);
+    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let looks = sim.world().look_count();
+    let all_awake = sim.world().all_awake();
+    let (_, rec, _) = sim.into_recorder_parts();
+    let label = AlgSpec::Distributed {
+        algorithm,
+        strategy,
+    }
+    .label();
+    let vr = validate_compressed(
+        &rec,
+        inst.source(),
+        inst.positions(),
+        &ValidationOptions::default(),
+    )
+    .map_err(|e| ExpError::validation(&spec.name, &label, e))?;
+    Ok(CompressedRun {
+        n: tuple.n,
+        ell: tuple.ell,
+        rho: tuple.rho,
+        makespan: vr.makespan,
+        completion_time: vr.completion_time,
+        max_energy: vr.max_energy,
+        total_energy: vr.total_energy,
+        looks,
+        all_awake,
+        peak_mem_bytes: rec.memory_bytes(),
+        compressed_bytes: rec.compressed_bytes(),
+        bytes_per_move: rec.bytes_per_move(),
+    })
+}
+
 fn central_job(
     spec: &ScenarioSpec,
     alg: AlgSpec,
@@ -452,6 +569,29 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
         .unwrap_or_else(|| spec.generator.clone());
     let started = Instant::now();
     let result = match job.algorithm {
+        AlgSpec::Distributed { .. } if plan.profile == Profile::Compressed => {
+            let run = run_single_compressed_with(spec, job.algorithm, job.seed, pool)?;
+            JobResult {
+                job: job.index,
+                scenario: spec.name.clone(),
+                generator,
+                algorithm: job.algorithm.label(),
+                seed: job.seed,
+                seed_index: job.seed_index,
+                n: run.n,
+                ell: run.ell,
+                rho: run.rho,
+                xi_ell: None,
+                makespan: run.makespan,
+                completion_time: run.completion_time,
+                max_energy: run.max_energy,
+                total_energy: run.total_energy,
+                looks: run.looks,
+                all_awake: run.all_awake,
+                peak_mem_bytes: run.peak_mem_bytes as f64,
+                wall_time_s: 0.0,
+            }
+        }
         AlgSpec::Distributed { .. } if plan.profile == Profile::Stats => {
             let run = run_single_stats_with(spec, job.algorithm, job.seed, pool)?;
             JobResult {
@@ -595,6 +735,124 @@ pub fn run_plan(plan: &ExperimentPlan, threads: usize) -> Result<Vec<JobResult>,
     Ok(results)
 }
 
+/// Reorder window of [`run_plan_streaming`]: how many completed jobs may
+/// be buffered ahead of the in-order emission point before workers stop
+/// claiming new jobs. Generous enough that workers rarely stall on one
+/// slow job, small enough that memory stays bounded by
+/// `O(window + workers)` results instead of `O(jobs)`.
+fn streaming_window(workers: usize) -> usize {
+    (4 * workers).max(64)
+}
+
+struct StreamShared {
+    /// Next unclaimed job index (claims are strictly in index order).
+    next_claim: usize,
+    /// Next index to hand to the consumer callback.
+    next_emit: usize,
+    /// Completed jobs not yet emitted, keyed by job index.
+    buffer: BTreeMap<usize, Result<JobResult, ExpError>>,
+    /// Set on the first failure; stops workers claiming further jobs.
+    failed: bool,
+}
+
+/// [`run_plan`] without the `O(jobs)` result vector: every [`JobResult`]
+/// is handed to `on_result` in strict job order as soon as it (and every
+/// lower-indexed job) has finished, then dropped. Workers run ahead of
+/// the in-order emission point by at most a bounded reorder window, so
+/// peak memory is `O(workers)` results regardless of plan size — the
+/// execution path behind `dftp sweep --out FILE`, where each record goes
+/// straight to disk.
+///
+/// Everything `on_result` observes is byte-identical (bar `wall_time_s`)
+/// to the corresponding entry of [`run_plan`]'s result vector, for any
+/// thread count.
+///
+/// # Errors
+///
+/// Plan validation errors before anything runs. A failing job makes
+/// workers stop picking up further jobs (in-flight jobs finish), and the
+/// lowest-indexed failure is returned; results preceding it have already
+/// been emitted by then — callers streaming to a file should treat an
+/// `Err` as truncating the output.
+pub fn run_plan_streaming(
+    plan: &ExperimentPlan,
+    threads: usize,
+    mut on_result: impl FnMut(&JobResult),
+) -> Result<(), ExpError> {
+    plan.validate()?;
+    let jobs = plan.jobs();
+    let workers = inter_job_workers(threads, plan.sim_threads, jobs.len());
+    let window = streaming_window(workers);
+    let state = Mutex::new(StreamShared {
+        next_claim: 0,
+        next_emit: 0,
+        buffer: BTreeMap::new(),
+        failed: false,
+    });
+    let progress = Condvar::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = {
+                    let mut g = state.lock().expect("stream state poisoned");
+                    // Backpressure: don't run further ahead of the
+                    // emission point than the reorder window allows.
+                    while !g.failed
+                        && g.next_claim < jobs.len()
+                        && g.next_claim >= g.next_emit + window
+                    {
+                        g = progress.wait(g).expect("stream state poisoned");
+                    }
+                    if g.failed || g.next_claim >= jobs.len() {
+                        break;
+                    }
+                    g.next_claim += 1;
+                    g.next_claim - 1
+                };
+                let out = execute_job(plan, &jobs[i]);
+                let mut g = state.lock().expect("stream state poisoned");
+                if out.is_err() {
+                    g.failed = true;
+                }
+                g.buffer.insert(i, out);
+                progress.notify_all();
+            });
+        }
+        // This thread is the consumer: drain the buffer in index order.
+        loop {
+            let item = {
+                let mut g = state.lock().expect("stream state poisoned");
+                loop {
+                    let want = g.next_emit;
+                    if let Some(r) = g.buffer.remove(&want) {
+                        g.next_emit += 1;
+                        // Emission moved the window: wake stalled workers.
+                        progress.notify_all();
+                        break Some(r);
+                    }
+                    // The job at next_emit was claimed (claims are in
+                    // index order), so its result is still in flight —
+                    // unless nothing below next_emit ever ran, which
+                    // means every job has been emitted or abandoned.
+                    if g.next_emit >= g.next_claim && (g.failed || g.next_claim >= jobs.len()) {
+                        break None;
+                    }
+                    g = progress.wait(g).expect("stream state poisoned");
+                }
+            };
+            match item {
+                Some(Ok(r)) => on_result(&r),
+                Some(Err(e)) => {
+                    // `failed` is already set, so workers are winding
+                    // down; the scope joins the in-flight ones.
+                    return Err(e);
+                }
+                None => return Ok(()),
+            }
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,6 +912,89 @@ mod tests {
                 assert_eq!(*x, y, "job {} differs at sim_threads={sim_threads}", x.job);
             }
         }
+    }
+
+    #[test]
+    fn compressed_profile_matches_full_profile_bitwise() {
+        let full = run_plan(&tiny_plan(), 2).unwrap();
+        let compressed = run_plan(&tiny_plan().profile(Profile::Compressed), 2).unwrap();
+        assert_eq!(full.len(), compressed.len());
+        for (f, c) in full.iter().zip(&compressed) {
+            assert_eq!(f.makespan.to_bits(), c.makespan.to_bits(), "job {}", f.job);
+            assert_eq!(f.completion_time.to_bits(), c.completion_time.to_bits());
+            assert_eq!(f.max_energy.to_bits(), c.max_energy.to_bits());
+            assert_eq!(f.total_energy.to_bits(), c.total_energy.to_bits());
+            assert_eq!(f.looks, c.looks);
+            assert!(c.all_awake);
+            assert_eq!(c.xi_ell, None, "compressed profile skips ξ_ℓ");
+            assert!(
+                c.peak_mem_bytes < f.peak_mem_bytes,
+                "compressed recorder ({}) must undercut the flat store ({})",
+                c.peak_mem_bytes,
+                f.peak_mem_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_single_run_reports_codec_figures() {
+        let spec = ScenarioSpec::new("disk")
+            .with("n", 30.0)
+            .with("radius", 6.0);
+        let run = run_single_compressed(&spec, Algorithm::Wave.into(), 5).unwrap();
+        assert!(run.all_awake);
+        assert!(run.compressed_bytes > 0);
+        assert!(run.compressed_bytes < run.peak_mem_bytes);
+        assert!(
+            run.bytes_per_move.is_finite() && run.bytes_per_move > 0.0,
+            "bytes/move {}",
+            run.bytes_per_move
+        );
+        let err = run_single_compressed(&spec, AlgSpec::CentralOptimal, 5).unwrap_err();
+        assert!(matches!(err, ExpError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn streaming_runner_emits_run_plan_results_in_order() {
+        let plan = tiny_plan().profile(Profile::Compressed);
+        let buffered = run_plan(&plan, 2).unwrap();
+        for threads in [1, 4] {
+            let mut streamed = Vec::new();
+            run_plan_streaming(&plan, threads, |r| streamed.push(r.clone())).unwrap();
+            assert_eq!(streamed.len(), buffered.len());
+            for (s, b) in streamed.iter().zip(&buffered) {
+                let mut s = s.clone();
+                s.wall_time_s = b.wall_time_s;
+                assert_eq!(s, *b, "job {} differs at threads={threads}", b.job);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_runner_surfaces_the_lowest_indexed_failure() {
+        // Same failing plan as the buffered abort test: central[optimal]
+        // refuses n > 10. Everything before the first failing job index
+        // must still have been emitted, in order.
+        let plan = ExperimentPlan::new("abort-stream")
+            .scenario(
+                ScenarioSpec::new("disk")
+                    .with("n", 50.0)
+                    .with("radius", 8.0),
+            )
+            .algorithm(Algorithm::Grid)
+            .algorithm(AlgSpec::CentralOptimal)
+            .seeds(2);
+        let mut streamed = Vec::new();
+        let err = run_plan_streaming(&plan, 2, |r| streamed.push(r.job)).unwrap_err();
+        assert!(matches!(err, ExpError::Unsupported(_)), "{err}");
+        assert_eq!(streamed, vec![0, 1], "AGrid jobs precede the failure");
+    }
+
+    #[test]
+    fn streaming_window_bounds_the_reorder_buffer() {
+        assert_eq!(streaming_window(1), 64);
+        assert_eq!(streaming_window(16), 64);
+        assert_eq!(streaming_window(32), 128);
     }
 
     #[test]

@@ -8,16 +8,28 @@
 //! own clock, its own position, its snapshots, and the identities of
 //! co-located robots — exactly the paper's Look-Compute-Move robot. The
 //! [`EventSim`] engine schedules all programs on one event queue and
-//! records the same [`Schedule`] the validator checks.
+//! records through any replay-capable [`Recorder`] — the default
+//! [`FullRecorder`] yields the same [`Schedule`] the validator checks,
+//! while [`EventSim::with_compressed`] records block-compressed
+//! trajectories for the streaming validator; an attached
+//! [`ParPool`] ([`EventSim::with_pool`]) fans the per-step co-location
+//! scan out over cores deterministically.
 //!
 //! `freezetag-core` ships `AGrid` in both styles and the test-suite checks
 //! the two produce the same makespan — evidence that the orchestrated
 //! drivers emit schedules genuinely realizable by distributed robots.
 
-use crate::{RobotId, Schedule, Sighting, WakeEvent, WorldView};
+use crate::record::{FullRecorder, Recorder, ReplayRecorder};
+use crate::{CompressedRecorder, ParPool, RobotId, Schedule, Sighting, WakeEvent, WorldView};
 use freezetag_geometry::Point;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Robot slots per co-location scan batch on the pooled path.
+const COLOC_BATCH: usize = 512;
+/// Minimum robot count before the co-location scan fans out over the
+/// pool — below this the spawn overhead exceeds the scan.
+const PAR_COLOC_MIN: usize = 1024;
 
 /// What a robot decides to do next (the "Move" of Look-Compute-Move;
 /// `Look` is the explicit snapshot action, as the paper's snapshots are
@@ -72,15 +84,6 @@ pub trait RobotProgram {
     fn step(&mut self, ctx: &StepContext<'_>) -> Action;
 }
 
-struct ActiveRobot {
-    program: Box<dyn RobotProgram>,
-    halted: bool,
-    light: u64,
-    /// Sightings captured by a just-completed Look, delivered on the next
-    /// step.
-    pending_sightings: Option<Vec<Sighting>>,
-}
-
 /// Discrete-event engine executing one [`RobotProgram`] per awake robot.
 ///
 /// # Example
@@ -119,15 +122,24 @@ struct ActiveRobot {
 /// assert!(sim.world().all_awake());
 /// assert_eq!(sim.schedule().makespan(), 2.0);
 /// ```
-pub struct EventSim<W> {
+pub struct EventSim<W, R = FullRecorder> {
     world: W,
-    schedule: Schedule,
-    robots: Vec<Option<ActiveRobot>>,
+    recorder: R,
+    // Struct-of-arrays robot state, indexed by RobotId::index(). Programs
+    // (`Box<dyn RobotProgram>`, not `Sync`) are kept apart from the plain
+    // data so the pooled co-location scan can borrow the rest.
+    programs: Vec<Option<Box<dyn RobotProgram>>>,
+    halted: Vec<bool>,
+    lights: Vec<u64>,
+    /// Sightings captured by a just-completed Look, delivered on the next
+    /// step.
+    pending: Vec<Option<Vec<Sighting>>>,
     // Min-heap of (time, robot) — ties resolved by robot id for
     // determinism. Times are ordered through total_cmp wrapped in a
     // sortable integer representation.
     queue: BinaryHeap<Reverse<(u64, usize)>>,
     steps: usize,
+    pool: ParPool,
 }
 
 /// Monotone map from non-negative finite f64 to u64 preserving order.
@@ -137,20 +149,65 @@ fn time_key(t: f64) -> u64 {
 }
 
 impl<W: WorldView> EventSim<W> {
-    /// Creates an engine over a world; only the source is active at first.
+    /// Creates a fully-recorded engine over a world; only the source is
+    /// active at first.
     pub fn new(world: W) -> Self {
         let n = world.n();
-        let mut schedule = Schedule::new(n);
-        schedule.activate(RobotId::SOURCE, 0.0, world.source_pos());
-        let mut robots: Vec<Option<ActiveRobot>> = Vec::with_capacity(n + 1);
-        robots.resize_with(n + 1, || None);
+        EventSim::with_recorder(world, FullRecorder::with_capacity(n))
+    }
+
+    /// The schedule recorded so far (full recorder only).
+    pub fn schedule(&self) -> &Schedule {
+        self.recorder.schedule()
+    }
+
+    /// Consumes the engine, returning world and schedule.
+    pub fn into_parts(self) -> (W, Schedule) {
+        (self.world, self.recorder.into_schedule())
+    }
+}
+
+impl<W: WorldView> EventSim<W, CompressedRecorder> {
+    /// Creates an engine recording block-compressed trajectories —
+    /// validated full records at ≤ 12 B/move, see
+    /// [`CompressedRecorder`].
+    pub fn with_compressed(world: W) -> Self {
+        let n = world.n();
+        EventSim::with_recorder(world, CompressedRecorder::with_capacity(n))
+    }
+}
+
+impl<W: WorldView, R: ReplayRecorder + Sync> EventSim<W, R> {
+    /// Creates an engine over an arbitrary replay-capable recorder (which
+    /// must be fresh — no robot activated yet). The co-location scan needs
+    /// [`ReplayRecorder::position_at`], which is why the constant-memory
+    /// stats recorder cannot drive the event engine.
+    pub fn with_recorder(world: W, mut recorder: R) -> Self {
+        recorder.activate(RobotId::SOURCE, 0.0, world.source_pos());
+        let n = world.n();
+        let mut programs: Vec<Option<Box<dyn RobotProgram>>> = Vec::with_capacity(n + 1);
+        programs.resize_with(n + 1, || None);
         EventSim {
             world,
-            schedule,
-            robots,
+            recorder,
+            programs,
+            halted: vec![false; n + 1],
+            lights: vec![0; n + 1],
+            pending: (0..n + 1).map(|_| None).collect(),
             queue: BinaryHeap::new(),
             steps: 0,
+            pool: ParPool::sequential(),
         }
+    }
+
+    /// Attaches a [`ParPool`] for deterministic intra-run parallelism
+    /// (builder style): the per-step co-location scan fans out over the
+    /// pool's workers with an order-preserving merge, so results are
+    /// bit-identical at any thread count. Default is sequential.
+    #[must_use]
+    pub fn with_pool(mut self, pool: ParPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Read access to the world.
@@ -158,14 +215,14 @@ impl<W: WorldView> EventSim<W> {
         &self.world
     }
 
-    /// The schedule recorded so far.
-    pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+    /// Read access to the recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
-    /// Consumes the engine, returning world and schedule.
-    pub fn into_parts(self) -> (W, Schedule) {
-        (self.world, self.schedule)
+    /// Consumes the engine, returning world and recorder.
+    pub fn into_recorder_parts(self) -> (W, R) {
+        (self.world, self.recorder)
     }
 
     /// Number of program steps executed.
@@ -182,17 +239,12 @@ impl<W: WorldView> EventSim<W> {
     /// robot, moving a halted robot's program logic astray) — algorithm
     /// bugs, exactly like the orchestrated driver.
     pub fn run(&mut self, source_program: Box<dyn RobotProgram>) {
-        self.robots[RobotId::SOURCE.index()] = Some(ActiveRobot {
-            program: source_program,
-            halted: false,
-            light: 0,
-            pending_sightings: None,
-        });
+        self.programs[RobotId::SOURCE.index()] = Some(source_program);
         self.queue
             .push(Reverse((time_key(0.0), RobotId::SOURCE.index())));
         while let Some(Reverse((_, idx))) = self.queue.pop() {
             let robot = RobotId::from_index(idx);
-            if self.robots[idx].as_ref().is_none_or(|r| r.halted) {
+            if self.programs[idx].is_none() || self.halted[idx] {
                 continue;
             }
             self.step_robot(robot);
@@ -200,34 +252,52 @@ impl<W: WorldView> EventSim<W> {
     }
 
     fn colocated_at(&self, me: RobotId, pos: Point, now: f64) -> Vec<(RobotId, u64)> {
-        let mut out = Vec::new();
-        for (i, slot) in self.robots.iter().enumerate() {
-            let id = RobotId::from_index(i);
-            if id == me {
-                continue;
-            }
-            let Some(active) = slot else { continue };
-            if let Some(tl) = self.schedule.timeline(id) {
-                if tl.position_at(now).dist(pos) <= freezetag_geometry::EPS {
-                    out.push((id, active.light));
+        let me_idx = me.index();
+        let recorder = &self.recorder;
+        let lights = &self.lights;
+        let scan = |base: usize, count: usize| {
+            let mut out = Vec::new();
+            for (i, &light) in lights.iter().enumerate().skip(base).take(count) {
+                if i == me_idx {
+                    continue;
+                }
+                let id = RobotId::from_index(i);
+                // position_at is None exactly for never-activated robots
+                // (a robot has a program iff it was activated); halted
+                // robots still physically sit there and stay visible.
+                if let Some(p) = recorder.position_at(id, now) {
+                    if p.dist(pos) <= freezetag_geometry::EPS {
+                        out.push((id, light));
+                    }
                 }
             }
+            out
+        };
+        let slots = self.halted.len();
+        if self.pool.is_sequential() || slots < PAR_COLOC_MIN {
+            return scan(0, slots);
+        }
+        // Pooled path: batches over the Sync per-robot arrays (programs,
+        // the one non-Sync column, is untouched), order-preserving merge —
+        // bit-identical to the sequential scan at any thread count.
+        let parts = self
+            .pool
+            .map_batches(&self.halted, COLOC_BATCH, |b, chunk| {
+                scan(b * COLOC_BATCH, chunk.len())
+            });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
         }
         out
     }
 
     fn step_robot(&mut self, robot: RobotId) {
         self.steps += 1;
-        let (now, pos) = {
-            let tl = self.schedule.timeline(robot).expect("active robot");
-            (tl.current_time(), tl.current_pos())
-        };
+        let now = self.recorder.current_time(robot).expect("active robot");
+        let pos = self.recorder.current_pos(robot).expect("active robot");
         let colocated = self.colocated_at(robot, pos, now);
-        let sightings = self.robots[robot.index()]
-            .as_mut()
-            .expect("active robot")
-            .pending_sightings
-            .take();
+        let sightings = self.pending[robot.index()].take();
         let action = {
             let ctx = StepContext {
                 id: robot,
@@ -236,39 +306,28 @@ impl<W: WorldView> EventSim<W> {
                 sightings: sightings.as_deref(),
                 colocated: &colocated,
             };
-            self.robots[robot.index()]
+            self.programs[robot.index()]
                 .as_mut()
                 .expect("active robot")
-                .program
                 .step(&ctx)
         };
         match action {
             Action::MoveTo(dest) => {
-                let arrival = self.schedule.timeline_mut(robot).move_to(dest);
+                let arrival = self.recorder.move_to(robot, dest);
                 self.queue.push(Reverse((time_key(arrival), robot.index())));
             }
             Action::WaitUntil(t) => {
-                self.schedule.timeline_mut(robot).wait_until(t);
-                let at = self
-                    .schedule
-                    .timeline(robot)
-                    .expect("active")
-                    .current_time();
+                self.recorder.wait_until(robot, t);
+                let at = self.recorder.current_time(robot).expect("active");
                 self.queue.push(Reverse((time_key(at), robot.index())));
             }
             Action::SetLight(light) => {
-                self.robots[robot.index()]
-                    .as_mut()
-                    .expect("active robot")
-                    .light = light;
+                self.lights[robot.index()] = light;
                 self.queue.push(Reverse((time_key(now), robot.index())));
             }
             Action::Look => {
                 let seen = self.world.look(pos, now);
-                self.robots[robot.index()]
-                    .as_mut()
-                    .expect("active robot")
-                    .pending_sightings = Some(seen);
+                self.pending[robot.index()] = Some(seen);
                 self.queue.push(Reverse((time_key(now), robot.index())));
             }
             Action::Wake { target, program } => {
@@ -284,27 +343,22 @@ impl<W: WorldView> EventSim<W> {
                 self.world
                     .wake(target, now)
                     .unwrap_or_else(|e| panic!("wake failed: {e}"));
-                self.schedule.activate(target, now, tpos);
-                self.schedule.record_wake(WakeEvent {
+                self.recorder.activate(target, now, tpos);
+                self.recorder.record_wake(WakeEvent {
                     waker: robot,
                     target,
                     time: now,
                     pos: tpos,
                 });
-                self.robots[target.index()] = Some(ActiveRobot {
-                    program,
-                    halted: false,
-                    light: 0,
-                    pending_sightings: None,
-                });
+                self.programs[target.index()] = Some(program);
+                self.halted[target.index()] = false;
+                self.lights[target.index()] = 0;
+                self.pending[target.index()] = None;
                 self.queue.push(Reverse((time_key(now), target.index())));
                 self.queue.push(Reverse((time_key(now), robot.index())));
             }
             Action::Halt => {
-                self.robots[robot.index()]
-                    .as_mut()
-                    .expect("active robot")
-                    .halted = true;
+                self.halted[robot.index()] = true;
             }
         }
     }
@@ -451,6 +505,108 @@ mod tests {
         }));
         assert!(sim.world().all_awake());
         assert!(seen.get(), "gatherer never saw its partner");
+    }
+
+    #[test]
+    fn compressed_event_run_matches_full_bitwise_and_validates() {
+        let pts: Vec<Point> = (1..=4).map(|i| Point::new(i as f64, 0.0)).collect();
+        let inst = Instance::new(pts);
+        let mut full = EventSim::new(ConcreteWorld::new(&inst));
+        full.run(Box::new(Walker {
+            hops: 4,
+            looked: false,
+        }));
+        let mut comp = EventSim::with_compressed(ConcreteWorld::new(&inst));
+        comp.run(Box::new(Walker {
+            hops: 4,
+            looked: false,
+        }));
+        assert!(comp.world().all_awake());
+        assert_eq!(full.steps(), comp.steps());
+        let (_, schedule) = full.into_parts();
+        let (_, rec) = comp.into_recorder_parts();
+        assert_eq!(schedule.makespan().to_bits(), rec.makespan().to_bits());
+        assert_eq!(
+            schedule.completion_time().to_bits(),
+            rec.completion_time().to_bits()
+        );
+        assert_eq!(
+            schedule.total_energy().to_bits(),
+            rec.total_energy().to_bits()
+        );
+        let flat = crate::validate(
+            &schedule,
+            Point::ORIGIN,
+            inst.positions(),
+            &crate::ValidationOptions::default(),
+        )
+        .expect("full validates");
+        let streamed = crate::validate_compressed(
+            &rec,
+            Point::ORIGIN,
+            inst.positions(),
+            &crate::ValidationOptions::default(),
+        )
+        .expect("compressed validates");
+        assert_eq!(flat, streamed);
+    }
+
+    #[test]
+    fn pooled_colocation_scan_matches_sequential() {
+        // 1200 robots in a tight cluster forces the pooled scan path
+        // (above PAR_COLOC_MIN) while a twin run stays sequential; the
+        // wake order — and therefore every recorded bit — must agree.
+        let pts: Vec<Point> = (0..1200)
+            .map(|i| Point::new(0.1 + (i % 40) as f64 * 0.02, 0.1 + (i / 40) as f64 * 0.02))
+            .collect();
+        let inst = Instance::new(pts);
+
+        /// Wakes every sighted robot in id order, then halts.
+        struct WakeAll {
+            queue: Vec<Sighting>,
+            looked: bool,
+        }
+        impl RobotProgram for WakeAll {
+            fn step(&mut self, ctx: &StepContext<'_>) -> Action {
+                if !self.looked {
+                    self.looked = true;
+                    return Action::Look;
+                }
+                if let Some(seen) = ctx.sightings {
+                    self.queue = seen.to_vec();
+                    self.queue.reverse();
+                }
+                match self.queue.last().copied() {
+                    Some(next) if next.pos.dist(ctx.pos) > 1e-6 => Action::MoveTo(next.pos),
+                    Some(next) => {
+                        self.queue.pop();
+                        Action::Wake {
+                            target: next.id,
+                            program: Box::new(WakeAll {
+                                queue: Vec::new(),
+                                looked: true,
+                            }),
+                        }
+                    }
+                    None => Action::Halt,
+                }
+            }
+        }
+
+        let run = |pool: ParPool| {
+            let mut sim = EventSim::new(ConcreteWorld::new(&inst)).with_pool(pool);
+            sim.run(Box::new(WakeAll {
+                queue: Vec::new(),
+                looked: false,
+            }));
+            let (_, schedule) = sim.into_parts();
+            schedule
+        };
+        let seq = run(ParPool::sequential());
+        let par = run(ParPool::new(4));
+        assert_eq!(seq.wakes(), par.wakes());
+        assert_eq!(seq.makespan().to_bits(), par.makespan().to_bits());
+        assert_eq!(seq.total_energy().to_bits(), par.total_energy().to_bits());
     }
 
     #[test]

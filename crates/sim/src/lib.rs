@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod compress;
 mod error;
 pub mod events;
 mod id;
@@ -61,12 +62,15 @@ mod validate;
 mod world;
 
 pub use adversary::AdversarialWorld;
+pub use compress::{
+    CompressedRecorder, SegmentIter, WakeIter, SEG_BLOCK_EVENTS, WAKE_BLOCK_EVENTS,
+};
 pub use error::SimError;
 pub use id::RobotId;
 pub use par::ParPool;
-pub use record::{FullRecorder, Recorder, StatsRecorder};
+pub use record::{FullRecorder, Recorder, ReplayRecorder, StatsRecorder};
 pub use schedule::{Schedule, Segment, Timeline, WakeEvent};
 pub use sim::Sim;
 pub use trace::{Trace, TraceSpan};
-pub use validate::{validate, ValidationOptions, ValidationReport};
+pub use validate::{validate, validate_compressed, ValidationOptions, ValidationReport};
 pub use world::{ConcreteWorld, Sighting, WorldView};

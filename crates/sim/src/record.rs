@@ -2,22 +2,27 @@
 //! simulation from *recording* it.
 //!
 //! [`Sim`](crate::Sim) routes every kinematic event (activation, move,
-//! wait, wake) through its recorder. Two implementations ship:
+//! wait, wake) through its recorder. Three implementations ship:
 //!
 //! * [`FullRecorder`] — today's complete record: one
 //!   [`Timeline`](crate::Timeline) of segments per robot inside a
 //!   [`Schedule`], as required by the independent validator, the SVG
 //!   renderer and the adversarial theorem checks. Memory grows with the
-//!   number of *moves* (`O(total segments)`).
+//!   number of *moves* (`O(total segments)`, ~48 B each).
 //! * [`StatsRecorder`] — constant memory per robot: wake time, current
 //!   time/position, and accumulated travel. No segments are kept, which is
 //!   what makes 10⁶-robot sweeps fit in memory.
+//! * [`CompressedRecorder`](crate::CompressedRecorder) — complete
+//!   trajectories in delta-encoded, block-compressed form (≤ 12 B/move),
+//!   validated by the streaming
+//!   [`validate_compressed`](crate::validate_compressed).
 //!
-//! The two recorders are *bit-identical* on every aggregate they share
+//! The recorders are *bit-identical* on every aggregate they share
 //! (makespan, completion time, per-robot wake times and travel, max/total
-//! energy): `StatsRecorder` performs the same floating-point additions in
-//! the same per-robot order that [`Schedule`]'s derived statistics do, a
-//! property pinned by the `recorder_parity` proptest suite.
+//! energy): the constant-memory recorders perform the same floating-point
+//! additions in the same per-robot order that [`Schedule`]'s derived
+//! statistics do, a property pinned by the `recorder_parity` proptest
+//! suite.
 
 use crate::{RobotId, Schedule, WakeEvent};
 use freezetag_geometry::Point;
@@ -78,8 +83,14 @@ pub trait Recorder {
     /// Appends a wake event to the log.
     fn record_wake(&mut self, event: WakeEvent);
 
-    /// The wake-event log in recording order.
-    fn wakes(&self) -> &[WakeEvent];
+    /// Number of recorded wake events.
+    fn wake_count(&self) -> usize;
+
+    /// Visits the wake events from index `start` onward, in recording
+    /// order. Streaming-friendly: compressed recorders decode lazily
+    /// instead of exposing a slice, and drivers that poll for *new* wakes
+    /// (the wave frontier) pass the count they saw last.
+    fn for_each_wake_from(&self, start: usize, f: &mut dyn FnMut(&WakeEvent));
 
     /// Activation (wake) time of `robot`, `None` if not activated.
     fn wake_time(&self, robot: RobotId) -> Option<f64>;
@@ -94,7 +105,10 @@ pub trait Recorder {
     /// The latest wake time — the paper's *makespan*; 0 when nothing was
     /// woken.
     fn makespan(&self) -> f64 {
-        self.wakes().iter().map(|w| w.time).fold(0.0, f64::max)
+        // Same op sequence as `wakes.iter().map(..).fold(0.0, f64::max)`.
+        let mut acc = 0.0;
+        self.for_each_wake_from(0, &mut |w| acc = f64::max(acc, w.time));
+        acc
     }
 
     /// The time the last robot finishes moving/waiting (≥ makespan).
@@ -110,6 +124,22 @@ pub trait Recorder {
     /// a function of the event sequence only (no allocator introspection),
     /// so sweep output stays byte-identical across thread counts.
     fn memory_bytes(&self) -> usize;
+}
+
+/// A [`Recorder`] that can answer *where a robot was* at an arbitrary past
+/// time — the random-access query the event-driven executor's co-location
+/// scan and the wake-validation pass need. [`FullRecorder`] answers from
+/// its timelines; [`CompressedRecorder`](crate::CompressedRecorder)
+/// decodes the one block containing `t`. `StatsRecorder` keeps no
+/// trajectory and deliberately does not implement this.
+pub trait ReplayRecorder: Recorder {
+    /// Position of `robot` at absolute time `t` (clamped before activation
+    /// / after the last event), `None` if the robot was never activated.
+    ///
+    /// Must agree bit-for-bit with
+    /// [`Timeline::position_at`](crate::Timeline::position_at) on the same
+    /// event sequence.
+    fn position_at(&self, robot: RobotId, t: f64) -> Option<Point>;
 }
 
 /// The complete-record implementation: a [`Schedule`] (per-robot segment
@@ -129,6 +159,11 @@ impl FullRecorder {
     /// Consumes the recorder, returning the schedule.
     pub fn into_schedule(self) -> Schedule {
         self.schedule
+    }
+
+    /// The wake-event log in recording order.
+    pub fn wakes(&self) -> &[WakeEvent] {
+        self.schedule.wakes()
     }
 }
 
@@ -171,8 +206,14 @@ impl Recorder for FullRecorder {
         self.schedule.record_wake(event);
     }
 
-    fn wakes(&self) -> &[WakeEvent] {
-        self.schedule.wakes()
+    fn wake_count(&self) -> usize {
+        self.schedule.wakes().len()
+    }
+
+    fn for_each_wake_from(&self, start: usize, f: &mut dyn FnMut(&WakeEvent)) {
+        for w in &self.schedule.wakes()[start..] {
+            f(w);
+        }
     }
 
     fn wake_time(&self, robot: RobotId) -> Option<f64> {
@@ -208,6 +249,12 @@ impl Recorder for FullRecorder {
     }
 }
 
+impl ReplayRecorder for FullRecorder {
+    fn position_at(&self, robot: RobotId, t: f64) -> Option<Point> {
+        self.schedule.timeline(robot).map(|tl| tl.position_at(t))
+    }
+}
+
 const ASLEEP: f64 = f64::NAN;
 
 /// The constant-memory implementation: flat per-robot arrays (wake time,
@@ -227,6 +274,11 @@ pub struct StatsRecorder {
 }
 
 impl StatsRecorder {
+    /// The wake-event log in recording order.
+    pub fn wakes(&self) -> &[WakeEvent] {
+        &self.wakes
+    }
+
     #[inline]
     fn check_active(&self, robot: RobotId) -> usize {
         let i = robot.index();
@@ -303,8 +355,14 @@ impl Recorder for StatsRecorder {
         self.wakes.push(event);
     }
 
-    fn wakes(&self) -> &[WakeEvent] {
-        &self.wakes
+    fn wake_count(&self) -> usize {
+        self.wakes.len()
+    }
+
+    fn for_each_wake_from(&self, start: usize, f: &mut dyn FnMut(&WakeEvent)) {
+        for w in &self.wakes[start..] {
+            f(w);
+        }
     }
 
     fn wake_time(&self, robot: RobotId) -> Option<f64> {

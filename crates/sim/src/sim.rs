@@ -1,5 +1,7 @@
 use crate::record::{FullRecorder, Recorder, StatsRecorder};
-use crate::{ParPool, RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView};
+use crate::{
+    CompressedRecorder, ParPool, RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView,
+};
 use freezetag_geometry::Point;
 
 /// The simulation driver: couples a [`WorldView`] (restricted sensing) with
@@ -66,6 +68,17 @@ impl<W: WorldView> Sim<W, StatsRecorder> {
     }
 }
 
+impl<W: WorldView> Sim<W, CompressedRecorder> {
+    /// Starts a block-compressed full-record simulation: complete
+    /// trajectories at ≤ 12 B/move, validated by
+    /// [`validate_compressed`](crate::validate_compressed), with every
+    /// aggregate bit-identical to a [`FullRecorder`] run.
+    pub fn with_compressed(world: W) -> Self {
+        let recorder = CompressedRecorder::with_capacity(world.n());
+        Sim::with_recorder(world, recorder)
+    }
+}
+
 impl<W: WorldView, R: Recorder> Sim<W, R> {
     /// Starts a simulation over an arbitrary recorder (which must be fresh
     /// — no robot activated yet).
@@ -121,10 +134,17 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
         &mut self.trace
     }
 
-    /// The wake-event log in recording order (available on every
-    /// recorder).
-    pub fn wakes(&self) -> &[WakeEvent] {
-        self.recorder.wakes()
+    /// Number of recorded wake events (available on every recorder).
+    pub fn wake_count(&self) -> usize {
+        self.recorder.wake_count()
+    }
+
+    /// Visits wake events from index `start` onward in recording order —
+    /// the streaming replacement for a wake slice, so compressed recorders
+    /// never materialise the log. Drivers polling for *new* wakes (the
+    /// wave frontier) pass the count they saw last.
+    pub fn for_each_wake_from(&self, start: usize, mut f: impl FnMut(&WakeEvent)) {
+        self.recorder.for_each_wake_from(start, &mut f);
     }
 
     /// Consumes the simulation, returning `(world, recorder, trace)`.

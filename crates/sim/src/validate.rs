@@ -1,4 +1,5 @@
-use crate::{RobotId, Schedule, SimError};
+use crate::record::ReplayRecorder;
+use crate::{CompressedRecorder, Recorder, RobotId, Schedule, SimError};
 use freezetag_geometry::Point;
 
 /// Tolerances and requirements for schedule validation.
@@ -241,6 +242,193 @@ pub fn validate(
     })
 }
 
+/// Streaming counterpart of [`validate`] over a [`CompressedRecorder`]:
+/// performs the same checks in the same order with the same tolerance
+/// semantics, but decodes one compression block per robot at a time, so
+/// peak validation memory is `O(block)` instead of `O(total segments)`.
+///
+/// The accumulated report runs the exact folds of the fused pass in
+/// [`validate`] — per-segment travel additions in timeline order, `f64::max`
+/// completion/energy folds in robot-index order — so on the same event
+/// sequence the two validators return bit-identical reports (pinned by the
+/// `compressed_roundtrip` and `recorder_parity` suites).
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] found; the run is only trusted when the
+/// result is `Ok`.
+pub fn validate_compressed(
+    rec: &CompressedRecorder,
+    source: Point,
+    initial_positions: &[Point],
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, SimError> {
+    let tol = opts.tolerance;
+    let n = initial_positions.len();
+
+    // --- source ----------------------------------------------------------
+    let src_start = rec
+        .wake_time(RobotId::SOURCE)
+        .ok_or_else(|| SimError::InvalidTimeline("source has no timeline".into()))?;
+    if src_start != 0.0 {
+        return Err(SimError::InvalidTimeline(format!(
+            "source starts at t={src_start} instead of 0"
+        )));
+    }
+    let src_pos = rec.start_pos(RobotId::SOURCE).expect("source is active");
+    if src_pos.dist(source) > tol {
+        return Err(SimError::InvalidTimeline(
+            "source timeline does not start at the source position".into(),
+        ));
+    }
+
+    // --- per-timeline kinematics ------------------------------------------
+    // Identical fused pass to `validate`, fed by the block-local segment
+    // decoder: robot-index order matches `Schedule::timelines()`, and the
+    // per-segment ops (one `dist` per segment, `travel += length`) are the
+    // ones the flat validator runs — the report stays bit-identical.
+    let mut travels: Vec<f64> = Vec::with_capacity(rec.active_count());
+    let mut completion = 0.0f64;
+    let mut max_energy = 0.0f64;
+    let mut total_energy = 0.0f64;
+    for idx in 0..=n {
+        let robot = RobotId::from_index(idx);
+        let Some(start) = rec.wake_time(robot) else {
+            continue;
+        };
+        let mut t = start;
+        let mut pos = rec.start_pos(robot).expect("active robot has a start");
+        if let Some(i) = robot.sleeper_index() {
+            let expect = initial_positions[i];
+            if pos.dist(expect) > tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {robot} starts at {pos} instead of its initial position {expect}"
+                )));
+            }
+        }
+        let mut travel = 0.0f64;
+        for (k, s) in rec.segments(robot).enumerate() {
+            if (s.start_time - t).abs() > tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {robot} segment {k} starts at {} expected {t}",
+                    s.start_time
+                )));
+            }
+            if (s.from.x != pos.x || s.from.y != pos.y) && s.from.dist(pos) > tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {robot} segment {k} teleports from {pos} to {}",
+                    s.from
+                )));
+            }
+            if s.end_time < s.start_time - tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {robot} segment {k} goes back in time"
+                )));
+            }
+            let length = s.length();
+            if length > s.duration() + tol {
+                return Err(SimError::InvalidTimeline(format!(
+                    "robot {robot} segment {k} exceeds unit speed: length {length} in {}",
+                    s.duration()
+                )));
+            }
+            travel += length;
+            t = s.end_time;
+            pos = s.to;
+        }
+        completion = f64::max(completion, t);
+        max_energy = f64::max(max_energy, travel);
+        total_energy += travel;
+        travels.push(travel);
+    }
+
+    // --- wake events -------------------------------------------------------
+    let mut woken = vec![false; n];
+    for (k, w) in rec.wake_events_from(0).enumerate() {
+        let i = w.target.sleeper_index().ok_or_else(|| {
+            SimError::InvalidTimeline(format!("wake event {k} targets the source"))
+        })?;
+        if woken[i] {
+            return Err(SimError::AlreadyAwake(w.target));
+        }
+        woken[i] = true;
+        if w.pos.dist(initial_positions[i]) > tol {
+            return Err(SimError::InvalidTimeline(format!(
+                "wake event {k}: position {} is not {}'s initial position",
+                w.pos, w.target
+            )));
+        }
+        let target_start = rec.wake_time(w.target).ok_or_else(|| {
+            SimError::InvalidTimeline(format!("woken robot {} has no timeline", w.target))
+        })?;
+        if (target_start - w.time).abs() > tol {
+            return Err(SimError::InvalidTimeline(format!(
+                "robot {} timeline starts at {target_start} but was woken at {}",
+                w.target, w.time
+            )));
+        }
+        let waker_start = rec.wake_time(w.waker).ok_or(SimError::Asleep(w.waker))?;
+        if waker_start > w.time + tol {
+            return Err(SimError::Asleep(w.waker));
+        }
+        let wp = rec.position_at(w.waker, w.time).expect("waker is active");
+        let d = wp.dist(w.pos);
+        if d > tol {
+            return Err(SimError::NotColocated {
+                waker: w.waker,
+                target: w.target,
+                distance: d,
+            });
+        }
+    }
+    // Every non-source timeline must correspond to a wake event.
+    for (i, &w) in woken.iter().enumerate() {
+        if rec.is_active(RobotId::sleeper(i)) && !w {
+            return Err(SimError::InvalidTimeline(format!(
+                "robot {} has a timeline but no wake event",
+                RobotId::sleeper(i)
+            )));
+        }
+    }
+
+    // --- coverage ----------------------------------------------------------
+    let awake = rec.active_count();
+    if opts.require_all_awake && awake != n + 1 {
+        return Err(SimError::NotAllAwake {
+            asleep: n + 1 - awake,
+        });
+    }
+
+    // --- energy ------------------------------------------------------------
+    if let Some(budget) = opts.energy_budget {
+        let mut ti = 0;
+        for idx in 0..=n {
+            let robot = RobotId::from_index(idx);
+            if !rec.is_active(robot) {
+                continue;
+            }
+            let spent = travels[ti];
+            ti += 1;
+            if spent > budget + tol {
+                return Err(SimError::EnergyExceeded {
+                    robot,
+                    spent,
+                    budget,
+                });
+            }
+        }
+    }
+
+    Ok(ValidationReport {
+        makespan: rec.makespan(),
+        completion_time: completion,
+        max_energy,
+        total_energy,
+        robots_awake: awake,
+        wake_count: rec.wake_count(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +496,69 @@ mod tests {
             ..Default::default()
         };
         assert!(validate(&schedule, Point::ORIGIN, inst.positions(), &opts).is_ok());
+    }
+
+    fn run_compressed_chain() -> (CompressedRecorder, Vec<Point>) {
+        let inst = Instance::new(vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)]);
+        let positions = inst.positions().to_vec();
+        let mut sim = Sim::with_compressed(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(1.0, 0.0));
+        let r0 = sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        sim.move_to(r0, Point::new(2.0, 0.0));
+        sim.wake(r0, RobotId::sleeper(1));
+        let (_, rec, _) = sim.into_recorder_parts();
+        (rec, positions)
+    }
+
+    #[test]
+    fn compressed_report_matches_flat_validator_bitwise() {
+        let (schedule, positions) = run_two_robot_chain();
+        let (rec, _) = run_compressed_chain();
+        let opts = ValidationOptions::default();
+        let flat = validate(&schedule, Point::ORIGIN, &positions, &opts).expect("valid");
+        let streamed = validate_compressed(&rec, Point::ORIGIN, &positions, &opts).expect("valid");
+        assert_eq!(flat.makespan.to_bits(), streamed.makespan.to_bits());
+        assert_eq!(
+            flat.completion_time.to_bits(),
+            streamed.completion_time.to_bits()
+        );
+        assert_eq!(flat.max_energy.to_bits(), streamed.max_energy.to_bits());
+        assert_eq!(flat.total_energy.to_bits(), streamed.total_energy.to_bits());
+        assert_eq!(flat.robots_awake, streamed.robots_awake);
+        assert_eq!(flat.wake_count, streamed.wake_count);
+    }
+
+    #[test]
+    fn compressed_energy_budget_is_enforced() {
+        let (rec, positions) = run_compressed_chain();
+        let opts = ValidationOptions {
+            energy_budget: Some(0.5),
+            ..Default::default()
+        };
+        let err = validate_compressed(&rec, Point::ORIGIN, &positions, &opts).unwrap_err();
+        assert!(matches!(err, SimError::EnergyExceeded { .. }));
+    }
+
+    #[test]
+    fn compressed_incomplete_run_fails_when_required() {
+        let inst = Instance::new(vec![Point::new(1.0, 0.0), Point::new(9.0, 0.0)]);
+        let mut sim = Sim::with_compressed(ConcreteWorld::new(&inst));
+        sim.move_to(RobotId::SOURCE, Point::new(1.0, 0.0));
+        sim.wake(RobotId::SOURCE, RobotId::sleeper(0));
+        let (_, rec, _) = sim.into_recorder_parts();
+        let err = validate_compressed(
+            &rec,
+            Point::ORIGIN,
+            inst.positions(),
+            &ValidationOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NotAllAwake { asleep: 1 });
+        let opts = ValidationOptions {
+            require_all_awake: false,
+            ..Default::default()
+        };
+        assert!(validate_compressed(&rec, Point::ORIGIN, inst.positions(), &opts).is_ok());
     }
 
     #[test]

@@ -56,8 +56,9 @@ fn usage() -> String {
   dftp generate --gen <GEN> [GEN OPTIONS] [--out <FILE>]
   dftp sweep    --scenarios <SPEC[,SPEC...]> [--algs <A[,A...]>]
                 [--algorithms <A[,A...]>] [--seeds <K>] [--plan-seed <S>]
-                [--threads <N>] [--sim-threads <N>] [--profile <full|stats>]
-                [--format <json|jsonl|csv>]
+                [--threads <N>] [--sim-threads <N>]
+                [--profile <full|stats|compressed>]
+                [--format <json|jsonl|csv>] [--flush-every <K>]
                 [--out <FILE>] [--bench-json <FILE>] [--name <NAME>]
 
 sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
@@ -66,13 +67,19 @@ sweep algorithms:     separator[:STRATEGY] | grid | wave |
 sweep --algorithms:   keep only the named algorithms of the plan's axis —
                       re-run one algorithm's cells without editing the plan
                       (names are validated; an empty intersection errors)
-sweep profiles:       full  = complete schedules + validation (default)
-                      stats = constant memory per robot, no validation —
-                              required for the large-n scenario families
-                              (uniform_1m, grid_1m, skewed_500k)
+sweep profiles:       full       = complete schedules + validation (default)
+                      stats      = constant memory per robot, no validation —
+                                   tractable for the large-n scenario families
+                                   (uniform_1m, grid_1m, skewed_500k)
+                      compressed = delta-encoded schedules + streaming
+                                   validation: full-fidelity checking at
+                                   stats-profile scale
 sweep parallelism:    --threads     = total core budget (inter-job workers)
                       --sim-threads = deterministic cores *within* each job;
                               output is byte-identical for any combination
+sweep streaming:      with --out, records stream to the file as jobs finish
+                      (bounded memory); --flush-every <K> flushes the file
+                      every K records (default 64)
 
 generators (defaults in parentheses; unseeded generators ignore --seed):
 ",
@@ -335,6 +342,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             "sim-threads",
             "profile",
             "format",
+            "flush-every",
             "out",
             "bench-json",
             "name",
@@ -398,41 +406,90 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     plan.scenarios = scenarios;
     plan.algorithms = algorithms;
     let threads = get_u(opts, "threads", 1)?;
-    // Reject a bad --format (and an invalid plan) before the sweep runs,
-    // not after hours of jobs whose output would then be discarded.
+    // Reject a bad --format / --flush-every (and an invalid plan) before
+    // the sweep runs — and before --out truncates an existing file — not
+    // after hours of jobs whose output would then be discarded.
     let format = opts.get("format").map(String::as_str).unwrap_or("json");
     if !matches!(format, "json" | "jsonl" | "csv") {
         return Err(format!("unknown format '{format}' (json|jsonl|csv)"));
     }
+    let flush_every = get_u(opts, "flush-every", 64)?;
+    if flush_every == 0 {
+        return Err("--flush-every must be at least 1".to_string());
+    }
+    plan.validate().map_err(|e| e.to_string())?;
 
     let started = Instant::now();
-    let results = run_plan(&plan, threads).map_err(|e| e.to_string())?;
-    let total_wall = started.elapsed().as_secs_f64();
-    let aggregates = agg::aggregate(&results);
-
-    let payload = match format {
-        "json" => emit::aggregates_to_json(&plan, &aggregates),
-        "jsonl" => emit::jobs_to_jsonl(&results),
-        "csv" => emit::jobs_to_csv(&results),
-        other => unreachable!("format '{other}' validated above"),
-    };
-    match opts.get("out") {
+    let aggregates = match opts.get("out") {
+        // Streaming path: every record goes to the file the moment its
+        // job (and every lower-indexed job) finishes, so a 10⁶-robot
+        // sweep never holds more than a bounded window of results — and
+        // a crash mid-sweep leaves all completed records on disk. The
+        // bytes written are identical to the buffered path's.
         Some(path) => {
-            std::fs::write(path, &payload).map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(path)
+                .map(std::io::BufWriter::new)
+                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut sink = match format {
+                "jsonl" => Some(emit::JobStreamWriter::jsonl(file, flush_every)),
+                "csv" => Some(
+                    emit::JobStreamWriter::csv(file, flush_every)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?,
+                ),
+                // The aggregate document is written once at the end; the
+                // sweep still streams through the accumulator.
+                _ => None,
+            };
+            let mut streaming_agg = agg::StreamingAgg::new();
+            let mut io_err: Option<std::io::Error> = None;
+            freezetag::exp::run_plan_streaming(&plan, threads, |r| {
+                streaming_agg.push(r);
+                if io_err.is_none() {
+                    if let Some(w) = sink.as_mut() {
+                        io_err = w.write(r).err();
+                    }
+                }
+            })
+            .map_err(|e| e.to_string())?;
+            if let Some(e) = io_err {
+                return Err(format!("cannot write {path}: {e}"));
+            }
+            let job_count = streaming_agg.job_count();
+            let aggregates = streaming_agg.finish();
+            match sink {
+                Some(w) => {
+                    w.finish()
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                }
+                None => {
+                    let doc = emit::aggregates_to_json(&plan, &aggregates);
+                    std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                }
+            }
+            let total_wall = started.elapsed().as_secs_f64();
             print!("{}", emit::aggregates_to_markdown(&aggregates));
-            let workers =
-                freezetag::exp::inter_job_workers(threads, plan.sim_threads, results.len());
+            let workers = freezetag::exp::inter_job_workers(threads, plan.sim_threads, job_count);
             println!(
                 "\n{} jobs on {} worker(s) x {} sim thread(s) in {:.2}s — wrote {path}",
-                results.len(),
-                workers,
-                plan.sim_threads,
-                total_wall
+                job_count, workers, plan.sim_threads, total_wall
             );
+            aggregates
         }
-        None => print!("{payload}"),
-    }
+        None => {
+            let results = run_plan(&plan, threads).map_err(|e| e.to_string())?;
+            let aggregates = agg::aggregate(&results);
+            let payload = match format {
+                "json" => emit::aggregates_to_json(&plan, &aggregates),
+                "jsonl" => emit::jobs_to_jsonl(&results),
+                "csv" => emit::jobs_to_csv(&results),
+                other => unreachable!("format '{other}' validated above"),
+            };
+            print!("{payload}");
+            aggregates
+        }
+    };
     if let Some(path) = opts.get("bench-json") {
+        let total_wall = started.elapsed().as_secs_f64();
         let doc = emit::bench_results_json(&plan, &aggregates, threads, total_wall);
         std::fs::write(path, doc).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");

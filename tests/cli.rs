@@ -586,3 +586,165 @@ fn scale_families_resolve_on_the_cli() {
         assert!(line.contains("\"ell\":4"), "declared ell must flow: {line}");
     }
 }
+
+#[test]
+fn sweep_streamed_out_file_matches_the_buffered_stdout_bytes() {
+    // The --out path streams records through the bounded-window runner
+    // and the incremental writer; the file must hold exactly the bytes
+    // the buffered stdout path prints — modulo wall_time_s, the one
+    // field a machine may change between the two runs.
+    let strip_wall = |text: &str| -> String {
+        text.lines()
+            .map(|l| match l.find(",\"wall_time_s\":") {
+                Some(i) => format!("{}}}", &l[..i]),
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let base = [
+        "sweep",
+        "--scenarios",
+        "disk:n=15:radius=5,ring:n=12:radius=6",
+        "--algs",
+        "grid,wave",
+        "--seeds",
+        "2",
+        "--plan-seed",
+        "5",
+        "--threads",
+        "3",
+        "--format",
+        "jsonl",
+    ];
+    let buffered = dftp(&base);
+    assert!(buffered.status.success(), "stderr: {}", stderr(&buffered));
+    let path = std::env::temp_dir().join(format!("dftp_stream_{}.jsonl", std::process::id()));
+    let mut streamed_args = base.to_vec();
+    let path_str = path.to_str().expect("utf-8 temp path");
+    streamed_args.extend(["--out", path_str, "--flush-every", "2"]);
+    let streamed = dftp(&streamed_args);
+    assert!(streamed.status.success(), "stderr: {}", stderr(&streamed));
+    let file = std::fs::read_to_string(&path).expect("streamed file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        strip_wall(&file),
+        strip_wall(&stdout(&buffered)),
+        "streamed --out bytes must match the buffered emitter"
+    );
+    // With --out, stdout carries the summary table instead of records.
+    let summary = stdout(&streamed);
+    assert!(summary.contains("| scenario |"), "{summary}");
+    assert!(summary.contains("8 jobs on"), "{summary}");
+}
+
+#[test]
+fn sweep_streamed_csv_and_json_formats_write_well_formed_files() {
+    let path = std::env::temp_dir().join(format!("dftp_stream_{}.out", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let run = |format: &str| {
+        dftp(&[
+            "sweep",
+            "--scenarios",
+            "disk:n=10:radius=4",
+            "--algs",
+            "grid",
+            "--seeds",
+            "2",
+            "--format",
+            format,
+            "--out",
+            path_str,
+        ])
+    };
+    let csv = run("csv");
+    assert!(csv.status.success(), "stderr: {}", stderr(&csv));
+    let text = std::fs::read_to_string(&path).expect("csv file");
+    assert!(text.starts_with("job,scenario"), "{text}");
+    assert_eq!(text.lines().count(), 3, "header + 2 rows: {text}");
+    let json = run("json");
+    assert!(json.status.success(), "stderr: {}", stderr(&json));
+    let text = std::fs::read_to_string(&path).expect("json file");
+    std::fs::remove_file(&path).ok();
+    assert!(text.contains("\"groups\""), "{text}");
+    assert!(
+        !text.contains("wall_time"),
+        "aggregate doc must stay deterministic: {text}"
+    );
+}
+
+#[test]
+fn sweep_rejects_zero_flush_cadence_and_compressed_adversarial() {
+    let out = dftp(&["sweep", "--scenarios", "disk:n=5", "--flush-every", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--flush-every must be at least 1"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let out = dftp(&[
+        "sweep",
+        "--scenarios",
+        "theorem2:n=20",
+        "--algs",
+        "separator",
+        "--profile",
+        "compressed",
+    ]);
+    assert!(
+        !out.status.success(),
+        "adversarial + compressed must be rejected"
+    );
+    assert!(
+        stderr(&out).contains("full profile"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn sweep_compressed_profile_matches_full_aggregates_on_the_cli() {
+    let run = |profile: &str| {
+        dftp(&[
+            "sweep",
+            "--scenarios",
+            "disk:n=20:radius=6",
+            "--algs",
+            "grid,wave",
+            "--seeds",
+            "2",
+            "--plan-seed",
+            "9",
+            "--profile",
+            profile,
+            "--threads",
+            "2",
+        ])
+    };
+    let compressed = run("compressed");
+    assert!(
+        compressed.status.success(),
+        "stderr: {}",
+        stderr(&compressed)
+    );
+    let text = stdout(&compressed);
+    assert!(text.contains("\"profile\": \"compressed\""), "{text}");
+    // Validated + aggregate-identical: erase the fields that legitimately
+    // differ (profile label, recorder memory) and compare with full.
+    let full = stdout(&run("full"));
+    let strip = |t: &str| -> String {
+        t.lines()
+            .map(|l| match l.find("\"peak_mem_bytes\"") {
+                Some(i) => l[..i].to_string(),
+                None => l.to_string(),
+            })
+            .filter(|l| !l.contains("\"profile\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&text),
+        strip(&full),
+        "compressed aggregates must match the full profile"
+    );
+}

@@ -1,16 +1,20 @@
-//! Property tests pinning the recorder contract: a `StatsRecorder` run is
-//! bit-identical to the statistics derived from a `FullRecorder` run of
-//! the same algorithm on the same instance — makespan, completion time,
-//! total/max energy, per-robot wake times and per-robot travel — for all
-//! three distributed algorithms on random registry instances.
+//! Property tests pinning the recorder contract: a `StatsRecorder` or
+//! `CompressedRecorder` run is bit-identical to the statistics derived
+//! from a `FullRecorder` run of the same algorithm on the same instance —
+//! makespan, completion time, total/max energy, per-robot wake times and
+//! per-robot travel — for all three distributed algorithms on random
+//! registry instances.
 //!
-//! This is what licenses the `--profile stats` execution path: the
-//! constant-memory recorder is not an approximation, it is the same
-//! arithmetic with the segments thrown away.
+//! This is what licenses the `--profile stats` and `--profile compressed`
+//! execution paths: neither recorder is an approximation — they run the
+//! same arithmetic, one throwing the segments away, the other
+//! delta-encoding them.
 
 use freezetag::core::{run_algorithm, Algorithm};
 use freezetag::instances::registry;
-use freezetag::sim::{ConcreteWorld, Recorder, RobotId, Sim, StatsRecorder, WorldView};
+use freezetag::sim::{
+    CompressedRecorder, ConcreteWorld, Recorder, RobotId, Sim, StatsRecorder, WakeEvent, WorldView,
+};
 use proptest::prelude::*;
 
 /// A random registry scenario: generator, parameters, seed.
@@ -91,6 +95,60 @@ proptest! {
 
         // The constant-memory recorder is never larger than the full one
         // (equality only on degenerate no-move runs, which these are not).
+        prop_assert!(rec.memory_bytes() < schedule.memory_bytes());
+    }
+
+    #[test]
+    fn compressed_recorder_matches_full_recorder_bitwise(
+        (generator, params, seed) in arb_scenario(),
+        alg in arb_algorithm(),
+    ) {
+        let params: registry::ParamMap =
+            params.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let inst = registry::build_instance(generator, &params, seed).expect("builds");
+        let tuple = inst.admissible_tuple();
+
+        let mut full = Sim::new(ConcreteWorld::new(&inst));
+        run_algorithm(&mut full, &tuple, alg);
+        let (world_full, schedule, _) = full.into_parts();
+
+        let mut comp: Sim<ConcreteWorld, CompressedRecorder> =
+            Sim::with_compressed(ConcreteWorld::new(&inst));
+        run_algorithm(&mut comp, &tuple, alg);
+        prop_assert_eq!(world_full.look_count(), comp.world().look_count());
+        let (_, rec, _) = comp.into_recorder_parts();
+
+        // Aggregates, bit for bit.
+        prop_assert_eq!(schedule.makespan().to_bits(), rec.makespan().to_bits());
+        prop_assert_eq!(
+            schedule.completion_time().to_bits(),
+            rec.completion_time().to_bits()
+        );
+        prop_assert_eq!(schedule.max_energy().to_bits(), rec.max_energy().to_bits());
+        prop_assert_eq!(
+            schedule.total_energy().to_bits(),
+            rec.total_energy().to_bits()
+        );
+        prop_assert_eq!(schedule.active_count(), rec.active_count());
+
+        // The wake log round-trips through its snapshot blocks.
+        let mut wakes: Vec<WakeEvent> = Vec::new();
+        rec.for_each_wake_from(0, &mut |w| wakes.push(*w));
+        prop_assert_eq!(schedule.wakes(), wakes.as_slice());
+
+        // Per-robot wake times and travel, bit for bit.
+        for i in 0..=inst.n() {
+            let r = RobotId::from_index(i);
+            let (full_wake, full_travel) = match schedule.timeline(r) {
+                Some(tl) => (Some(tl.start_time()), Some(tl.travel())),
+                None => (None, None),
+            };
+            prop_assert_eq!(full_wake.map(f64::to_bits), rec.wake_time(r).map(f64::to_bits));
+            prop_assert_eq!(full_travel.map(f64::to_bits), rec.travel(r).map(f64::to_bits));
+        }
+
+        // Keeping every segment in delta-encoded blocks must still beat
+        // the flat segment store.
         prop_assert!(rec.memory_bytes() < schedule.memory_bytes());
     }
 }
