@@ -15,10 +15,10 @@
 //!
 //! Run with: `cargo run --release -p freezetag-bench --bin ablation`
 
-use freezetag_bench::{default_threads, f1, f2, header, row};
+use freezetag_bench::{engine, f1, f2, header, profile_arg, row};
 use freezetag_central::WakeStrategy;
 use freezetag_core::{spiral_search, team_search};
-use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, Profile, ScenarioSpec};
+use freezetag_exp::{AlgSpec, ExperimentPlan, Profile, ScenarioSpec};
 use freezetag_geometry::{Point, Rect};
 use freezetag_instances::generators::uniform_disk;
 use freezetag_instances::Instance;
@@ -66,7 +66,7 @@ fn central_strategies() {
                 .with("far", 80.0)
                 .named("skewed"),
         );
-    let results = run_plan(&plan, default_threads()).expect("plans run");
+    let results = engine().run(&plan).expect("plans run");
     header(&[
         "workload",
         "n",
@@ -94,7 +94,7 @@ fn central_strategies() {
                 .named(&format!("disk n={n}")),
         );
     }
-    let results = run_plan(&tiny, default_threads()).expect("plans run");
+    let results = engine().run(&tiny).expect("plans run");
     header(&["n", "optimal", "quadtree", "greedy", "quadtree/opt"]);
     for cell in results.chunks(3) {
         let (opt, quad, greedy) = (cell[0].makespan, cell[1].makespan, cell[2].makespan);
@@ -116,9 +116,10 @@ fn central_strategies() {
 fn end_to_end_strategy() {
     println!("\n## Ablation 1b — ASeparator end-to-end, per wake strategy\n");
     // Only makespans are compared here, so the constant-memory stats
-    // profile suffices — the full-schedule validation of these exact runs
-    // is covered by the engine's own test suite.
-    let mut plan = ExperimentPlan::new("ablation-end-to-end").profile(Profile::Stats);
+    // profile suffices by default — the full-schedule validation of these
+    // exact runs is covered by the engine's own test suite. `--profile`
+    // overrides (e.g. `compressed` re-adds streaming validation).
+    let mut plan = ExperimentPlan::new("ablation-end-to-end").profile(profile_arg(Profile::Stats));
     for strategy in WakeStrategy::ALL {
         plan = plan.algorithm(AlgSpec::separator_with(strategy));
     }
@@ -137,7 +138,7 @@ fn end_to_end_strategy() {
                 .with("spread", 20.0)
                 .named("clusters"),
         );
-    let results = run_plan(&plan, default_threads()).expect("plans run");
+    let results = engine().run(&plan).expect("plans run");
     header(&["workload", "quadtree", "greedy", "median", "chain"]);
     for cell in results.chunks(WakeStrategy::ALL.len()) {
         let mut cells = vec![cell[0].scenario.clone()];

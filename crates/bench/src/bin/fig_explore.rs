@@ -18,9 +18,9 @@
 //!
 //! Run with: `cargo run --release -p freezetag-bench --bin fig_explore`
 
-use freezetag_bench::{default_threads, f1, f2, header, row};
+use freezetag_bench::{engine, f1, f2, header, row};
 use freezetag_central::WakeStrategy;
-use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
+use freezetag_exp::{AlgSpec, ExperimentPlan, ScenarioSpec};
 use freezetag_geometry::{Point, Rect, SQRT_2};
 use freezetag_instances::Instance;
 use freezetag_sim::{ConcreteWorld, RobotId, Sim};
@@ -123,7 +123,7 @@ fn lemma2_constant() {
                 .named(&format!("R={r}")),
         );
     }
-    let results = run_plan(&plan, default_threads()).expect("plans run");
+    let results = engine().run(&plan).expect("plans run");
     header(&["R", "n", "tree makespan", "makespan/R"]);
     for (r, &radius) in results.iter().zip(&radii) {
         row(&[
@@ -145,7 +145,7 @@ fn lemma2_constant() {
         )
         .algorithm(AlgSpec::Central(WakeStrategy::Quadtree))
         .algorithm(AlgSpec::Central(WakeStrategy::Greedy));
-    let results = run_plan(&baseline, default_threads()).expect("plans run");
+    let results = engine().run(&baseline).expect("plans run");
     println!(
         "\nbaseline: quadtree {:.1} vs greedy {:.1} on a uniform disk (n=100, ρ=20)",
         results[0].makespan, results[1].makespan

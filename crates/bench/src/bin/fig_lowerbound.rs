@@ -3,7 +3,7 @@
 //! * Theorem 2 (Fig. 5a): the grid-of-disks adversarial layout — the
 //!   `ℓ² log m` growth measured by an experiment plan running `ASeparator`
 //!   against the adaptive adversary while sweeping the disk count `m`,
-//!   then one engine `run_single` rendered to SVG.
+//!   then one engine single run rendered to SVG.
 //! * Theorem 6: the rectilinear-path construction with prescribed
 //!   eccentricity ξ — `AGrid`/`AWave` makespans against the
 //!   `Ω(ξ + ℓ² log(ξ/ℓ))` shape while ξ sweeps its admissible range.
@@ -11,9 +11,9 @@
 //! Run with: `cargo run --release -p freezetag-bench --bin fig_lowerbound`
 //! Output:   `target/fig_lowerbound.svg`
 
-use freezetag_bench::{default_threads, f1, f2, header, row, theorem2_scenario};
+use freezetag_bench::{engine, f1, f2, header, row, theorem2_scenario};
 use freezetag_core::{bounds, Algorithm};
-use freezetag_exp::{run_plan, run_single, AlgSpec, ExperimentPlan, ScenarioSpec};
+use freezetag_exp::{AlgSpec, ExperimentPlan, ScenarioSpec};
 use freezetag_instances::path_construction::Theorem6Params;
 use freezetag_sim::svg::{render_run, SvgOptions};
 
@@ -29,7 +29,7 @@ fn theorem2_series() {
     for &rho in &[16.0, 32.0, 64.0] {
         plan = plan.scenario(theorem2_scenario(ell, rho, 100_000));
     }
-    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    let results = engine().run(&plan).expect("valid runs");
     header(&[
         "ℓ",
         "ρ",
@@ -57,12 +57,13 @@ fn theorem2_series() {
 
     // Render the construction itself (Figure 5a): one engine run with the
     // full schedule and the adversary's revealed positions.
-    let run = run_single(
-        &theorem2_scenario(4.0, 32.0, 100_000),
-        AlgSpec::from(Algorithm::Separator),
-        1,
-    )
-    .expect("valid run");
+    let run = engine()
+        .single(
+            &theorem2_scenario(4.0, 32.0, 100_000),
+            AlgSpec::from(Algorithm::Separator),
+            1,
+        )
+        .expect("valid run");
     assert!(
         !run.positions.is_empty(),
         "all robots pinned by the end of the run"
@@ -111,7 +112,7 @@ fn theorem6_series() {
         println!("(every ξ exceeded the geometric cap — nothing to run)");
         return;
     }
-    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    let results = engine().run(&plan).expect("valid runs");
     header(&[
         "ξ (target)",
         "ξ_ℓ (measured)",

@@ -3,16 +3,16 @@
 //! exploration, recruitment, merge/reorganization, next round), as
 //! per-depth phase timings plus SVG snapshots.
 //!
-//! The run itself goes through the experiment engine (`exp::run_single`,
+//! The run itself goes through the experiment engine (`Engine::single`,
 //! which also validates the schedule); this binary only analyses the
 //! returned trace/schedule and renders the SVG.
 //!
 //! Run with: `cargo run --release -p freezetag-bench --bin fig_phases`
 //! Output:   `target/fig_phases.svg`
 
-use freezetag_bench::{f1, header, row};
+use freezetag_bench::{engine, f1, header, row};
 use freezetag_core::Algorithm;
-use freezetag_exp::{run_single, AlgSpec, ScenarioSpec};
+use freezetag_exp::{AlgSpec, ScenarioSpec};
 use freezetag_geometry::{Rect, Square};
 use freezetag_sim::svg::{render_run, SvgOptions};
 use std::collections::BTreeMap;
@@ -24,7 +24,9 @@ fn main() {
         .with("side", 20.0)
         .with("spacing", 2.0)
         .named("lattice 20×20");
-    let run = run_single(&scenario, AlgSpec::from(Algorithm::Separator), 1).expect("valid run");
+    let run = engine()
+        .single(&scenario, AlgSpec::from(Algorithm::Separator), 1)
+        .expect("valid run");
     assert!(run.report.all_awake);
     println!(
         "instance: 20×20 lattice, spacing 2 — tuple (ℓ={}, ρ={}, n={})",

@@ -17,11 +17,11 @@
 //! Run with: `cargo run --release -p freezetag-bench --bin table1`
 
 use freezetag_bench::{
-    default_threads, f1, f2, header, lattice_scenario, render_aggregates, row, snake_scenario,
+    engine, f1, f2, header, lattice_scenario, profile_arg, render_aggregates, row, snake_scenario,
     theorem2_scenario,
 };
 use freezetag_core::{bounds, Algorithm};
-use freezetag_exp::{aggregate, run_plan, ExperimentPlan, JobResult, Profile, ScenarioSpec};
+use freezetag_exp::{aggregate, ExperimentPlan, JobResult, Profile, ScenarioSpec};
 use freezetag_geometry::Point;
 use freezetag_instances::adversarial::theorem3_layout;
 use freezetag_sim::{AdversarialWorld, RobotId, Sim};
@@ -45,7 +45,7 @@ fn section_aseparator() {
             plan = plan.scenario(lattice_scenario(ell, ell * ratio));
         }
     }
-    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    let results = engine().run(&plan).expect("valid runs");
     header(&["ℓ", "ρ", "n", "makespan", "bound", "ratio", "max-energy"]);
     for r in &results {
         assert!(r.all_awake);
@@ -76,7 +76,7 @@ fn section_energy_constrained() {
             plan = plan.scenario(snake_scenario(ell, xi_target * ell.max(1.0)));
         }
     }
-    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    let results = engine().run(&plan).expect("valid runs");
     header(&[
         "ℓ",
         "ξ_ℓ",
@@ -137,7 +137,7 @@ fn section_energy_feasibility() {
     for &xi in &corridors {
         plan = plan.scenario(snake_scenario(ell, xi));
     }
-    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    let results = engine().run(&plan).expect("valid runs");
     header(&[
         "ξ (corridor)",
         "alg",
@@ -221,7 +221,7 @@ fn section_lower_bounds() {
     for &(ell, rho) in &[(2.0, 16.0), (2.0, 32.0), (4.0, 32.0), (4.0, 64.0)] {
         plan = plan.scenario(theorem2_scenario(ell, rho, 4000));
     }
-    let results: Vec<JobResult> = run_plan(&plan, default_threads()).expect("valid runs");
+    let results: Vec<JobResult> = engine().run(&plan).expect("valid runs");
     header(&[
         "ℓ",
         "ρ",
@@ -277,11 +277,16 @@ fn section_radius_approx() {
 /// members of the `uniform_1m` family under the constant-memory stats
 /// profile — wall-clock and recorder footprint both grow linearly in `n`,
 /// which is what makes the 10⁶-robot default of the family tractable.
+/// `--profile compressed` re-runs the block with delta-encoded schedules
+/// and streaming validation instead.
 fn section_scale() {
-    println!("\n## Scale — AGrid under the stats profile (linear work, constant memory/robot)\n");
+    let profile = profile_arg(Profile::Stats);
+    println!(
+        "\n## Scale — AGrid under the {profile} profile (linear work, constant memory/robot)\n"
+    );
     let mut plan = ExperimentPlan::new("table1-scale")
         .algorithm(Algorithm::Grid)
-        .profile(Profile::Stats);
+        .profile(profile);
     for &(n, radius) in &[(25_000.0, 100.0), (50_000.0, 141.0), (100_000.0, 200.0)] {
         plan = plan.scenario(
             ScenarioSpec::new("uniform_1m")
@@ -292,7 +297,7 @@ fn section_scale() {
         );
     }
     let started = std::time::Instant::now();
-    let results = run_plan(&plan, default_threads()).expect("valid runs");
+    let results = engine().run(&plan).expect("valid runs");
     let wall = started.elapsed().as_secs_f64();
     header(&["n", "makespan", "looks", "recorder MiB", "B/robot"]);
     for r in &results {

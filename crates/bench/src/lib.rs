@@ -9,7 +9,7 @@
 //! ([`lattice_scenario`], [`snake_scenario`]) and renders engine
 //! aggregates as markdown tables ([`render_aggregates`]).
 
-use freezetag_exp::{Aggregate, ScenarioSpec};
+use freezetag_exp::{Aggregate, Engine, Profile, ScenarioSpec};
 use freezetag_instances::generators::{grid_lattice, snake};
 use freezetag_instances::Instance;
 
@@ -70,6 +70,45 @@ pub fn default_threads() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+/// The standard experiment engine for the reproduction binaries:
+/// [`default_threads`] workers, no result cache (every binary runs each
+/// job exactly once).
+pub fn engine() -> Engine {
+    Engine::with_threads(default_threads())
+}
+
+/// Reads an optional `--profile full|stats|compressed` from the process
+/// arguments, falling back to `default` when absent. Sections whose
+/// measurements *require* full schedules (adversarial scenarios,
+/// validation tables) ignore this and hard-pick their profile; the
+/// scale-style sections honor it, so e.g. `table1 --profile compressed`
+/// re-runs the large-`n` block with delta-encoded schedules and
+/// streaming validation.
+///
+/// # Panics
+///
+/// Exits the process with an error message when `--profile` is given an
+/// unknown value or no value.
+pub fn profile_arg(default: Profile) -> Profile {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--profile" {
+            match args.next().as_deref().map(Profile::parse) {
+                Some(Ok(p)) => return p,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("error: --profile expects full|stats|compressed");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    default
 }
 
 /// Renders engine aggregates as a markdown table (the standard summary

@@ -112,6 +112,20 @@ impl Knowledge {
         }
     }
 
+    /// [`clear`](Self::clear) plus a spatial-index re-bucketing to a new
+    /// `cell_width` — the reuse path for worker-resident stores serving
+    /// jobs with varying ℓ. Equivalent to a fresh
+    /// [`with_cell_width`](Self::with_cell_width) but keeps every
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_width <= 0` or not finite.
+    pub fn reset(&mut self, cell_width: f64) {
+        self.clear();
+        self.grid.reset(cell_width);
+    }
+
     /// Forgets everything in O(previously known), keeping allocations.
     /// The dense per-robot arrays are invalidated by an epoch bump alone.
     pub fn clear(&mut self) {
@@ -422,6 +436,29 @@ mod tests {
             k.get(RobotId::sleeper(3)).unwrap().origin,
             Point::new(5.0, 5.0)
         );
+    }
+
+    #[test]
+    fn reset_rebuckets_like_a_fresh_store() {
+        let mut reused = Knowledge::with_cell_width(8.0);
+        for i in 0..32 {
+            reused.note_sighting(RobotId::sleeper(i), Point::new(i as f64, 0.0));
+        }
+        reused.reset(1.5);
+        let mut fresh = Knowledge::with_cell_width(1.5);
+        for i in 0..16 {
+            let p = Point::new((i % 4) as f64 * 0.7, (i / 4) as f64 * 0.7);
+            reused.note_sighting(RobotId::sleeper(i), p);
+            fresh.note_sighting(RobotId::sleeper(i), p);
+        }
+        let collect = |k: &Knowledge| {
+            let mut got = Vec::new();
+            k.for_each_known_within(Point::new(1.0, 1.0), 1.2, |id, p, _| got.push((id, p)));
+            got.sort_unstable_by_key(|&(id, _)| id);
+            got
+        };
+        assert_eq!(collect(&reused), collect(&fresh));
+        assert_eq!(reused.len(), fresh.len());
     }
 
     #[test]

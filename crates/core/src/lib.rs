@@ -39,6 +39,7 @@ mod grid_events;
 pub mod knowledge;
 mod radius_approx;
 mod sampling;
+pub mod scratch;
 mod separator;
 mod solve;
 mod team;
@@ -48,7 +49,8 @@ mod wave;
 pub use grid::{a_grid, AGridConfig};
 pub use grid_events::{a_grid_events, AGridRobot};
 pub use radius_approx::{estimate_radius, RadiusEstimate};
-pub use separator::{a_separator, ASeparatorConfig};
+pub use scratch::AlgScratch;
+pub use separator::{a_separator, a_separator_in, ASeparatorConfig};
 pub use solve::{run_algorithm, solve, solve_with_options, Algorithm, RunReport};
 pub use treasure_hunt::{spiral_search, team_search, SearchOutcome};
-pub use wave::{a_wave, AWaveConfig};
+pub use wave::{a_wave, a_wave_in, AWaveConfig};

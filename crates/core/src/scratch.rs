@@ -1,0 +1,107 @@
+//! Worker-resident scratch state reused across jobs.
+//!
+//! A one-shot CLI run pays its per-job allocations once, but a resident
+//! serving process (the `Engine` worker pool behind `dftp serve`) runs
+//! thousands of jobs per worker thread. [`AlgScratch`] bundles the
+//! allocation-heavy per-run state the algorithms need — today the
+//! [`Knowledge`] store with its spatial index — so a worker constructs it
+//! once and hands it to every job via [`a_separator_in`](crate::a_separator_in)
+//! / [`a_wave_in`](crate::a_wave_in). Between jobs the store is recycled
+//! by [`Knowledge::reset`]: an O(1) epoch bump plus a cell-width swap,
+//! never a reallocation.
+//!
+//! Reuse is unobservable in results: a reset store answers every query
+//! exactly like a fresh one (pinned by the knowledge-layer tests and the
+//! schedule-identity suite), so cached and freshly-computed results stay
+//! byte-identical.
+
+use crate::knowledge::Knowledge;
+
+/// Reusable per-worker scratch for the distributed algorithms; see the
+/// [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_core::{a_separator_in, ASeparatorConfig, AlgScratch};
+/// use freezetag_instances::generators::uniform_disk;
+/// use freezetag_sim::{ConcreteWorld, Sim, WorldView};
+///
+/// let mut scratch = AlgScratch::new();
+/// for seed in 1..3 {
+///     let inst = uniform_disk(30, 6.0, seed);
+///     let mut sim = Sim::new(ConcreteWorld::new(&inst));
+///     a_separator_in(&mut sim, &ASeparatorConfig::new(inst.admissible_tuple()), &mut scratch);
+///     assert!(sim.world().all_awake());
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct AlgScratch {
+    knowledge: Knowledge,
+}
+
+impl AlgScratch {
+    /// Fresh scratch (no allocations yet; they grow with the first job
+    /// and are kept from then on).
+    pub fn new() -> Self {
+        AlgScratch::default()
+    }
+
+    /// The knowledge store, recycled for a run with connectivity
+    /// parameter `cell_width = ℓ` (see [`Knowledge::with_cell_width`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_width <= 0` or not finite.
+    pub fn knowledge(&mut self, cell_width: f64) -> &mut Knowledge {
+        self.knowledge.reset(cell_width);
+        &mut self.knowledge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::separator::ASeparatorConfig;
+    use crate::wave::AWaveConfig;
+    use crate::{a_separator_in, a_wave_in};
+    use freezetag_instances::generators::uniform_disk;
+    use freezetag_sim::{ConcreteWorld, Schedule, Sim, WorldView};
+
+    fn fingerprint(s: &Schedule) -> (u64, u64, usize) {
+        (
+            s.makespan().to_bits(),
+            s.total_energy().to_bits(),
+            s.wakes().len(),
+        )
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_schedules_across_varied_jobs() {
+        // One scratch serves a separator job, then a wave job with a
+        // different ℓ, then the first job again — every schedule must
+        // match a fresh-scratch run bit for bit.
+        let mut reused = AlgScratch::new();
+        let run = |scratch: &mut AlgScratch, seed: u64, wave: bool| {
+            let inst = uniform_disk(40, 8.0, seed);
+            let mut sim = Sim::new(ConcreteWorld::new(&inst));
+            if wave {
+                a_wave_in(&mut sim, &AWaveConfig { ell: 2.0 }, scratch);
+            } else {
+                a_separator_in(
+                    &mut sim,
+                    &ASeparatorConfig::new(inst.admissible_tuple()),
+                    scratch,
+                );
+            }
+            assert!(sim.world().all_awake());
+            let (_, schedule, _) = sim.into_parts();
+            fingerprint(&schedule)
+        };
+        for (seed, wave) in [(3, false), (4, true), (3, false)] {
+            let want = run(&mut AlgScratch::new(), seed, wave);
+            let got = run(&mut reused, seed, wave);
+            assert_eq!(got, want, "seed {seed} wave {wave}");
+        }
+    }
+}

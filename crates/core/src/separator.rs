@@ -27,6 +27,7 @@
 use crate::explore::sweep_queries;
 use crate::knowledge::Knowledge;
 use crate::sampling::{df_sampling, SamplingOutcome};
+use crate::scratch::AlgScratch;
 use crate::team::Team;
 use freezetag_central::{realize, WakeStrategy};
 use freezetag_geometry::{Point, Square};
@@ -96,9 +97,21 @@ impl ASeparatorConfig {
 /// assert!(sim.world().all_awake());
 /// ```
 pub fn a_separator<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &ASeparatorConfig) {
+    a_separator_in(sim, cfg, &mut AlgScratch::new());
+}
+
+/// [`a_separator`] with caller-provided scratch state: resident workers
+/// construct one [`AlgScratch`] per thread and recycle its knowledge
+/// store across jobs instead of reallocating (see
+/// [`scratch`](crate::scratch)). Results are identical to [`a_separator`].
+pub fn a_separator_in<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
+    cfg: &ASeparatorConfig,
+    scratch: &mut AlgScratch,
+) {
     let src = sim.world().source_pos();
     let square = Square::new(src, 2.0 * cfg.tuple.rho);
-    let mut knowledge = Knowledge::with_cell_width(cfg.tuple.ell);
+    let knowledge = scratch.knowledge(cfg.tuple.ell);
     knowledge.note_awake(RobotId::SOURCE, src);
     let team = Team::new(vec![RobotId::SOURCE]);
     let params = SeparatorParams {
@@ -108,7 +121,7 @@ pub fn a_separator<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &ASepara
     };
     let sq = square;
     let own: Region = Rc::new(move |p| sq.contains(p));
-    wake_square_with_team(sim, team, &mut knowledge, square, own, params, 0);
+    wake_square_with_team(sim, team, knowledge, square, own, params, 0);
 }
 
 /// Entry point shared with `AWave`: wake every owned robot inside

@@ -10,7 +10,7 @@
 //! robots sweeps the 8 adjacent squares in fixed slots, waking each with
 //! `ASeparator` started directly at its partitioning rounds.
 
-use crate::knowledge::Knowledge;
+use crate::scratch::AlgScratch;
 use crate::separator::{wake_square_with_team, Region, SeparatorParams};
 use crate::team::Team;
 use freezetag_geometry::{CellCoord, Point, Square, SquareTiling};
@@ -64,6 +64,18 @@ pub(crate) fn wave_slot(r: f64, ell: f64) -> f64 {
 /// assert!(sim.world().all_awake());
 /// ```
 pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig) {
+    a_wave_in(sim, cfg, &mut AlgScratch::new());
+}
+
+/// [`a_wave`] with caller-provided scratch state: resident workers
+/// construct one [`AlgScratch`] per thread and recycle its knowledge
+/// store across jobs instead of reallocating (see
+/// [`scratch`](crate::scratch)). Results are identical to [`a_wave`].
+pub fn a_wave_in<W: WorldView, R: Recorder>(
+    sim: &mut Sim<W, R>,
+    cfg: &AWaveConfig,
+    scratch: &mut AlgScratch,
+) {
     assert!(cfg.ell > 0.0 && cfg.ell.is_finite(), "ell must be positive");
     let ell = effective_ell(cfg.ell);
     let r = wave_width(cfg.ell);
@@ -82,7 +94,7 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
         target: ((4.0 * ell).ceil() as usize).max(4),
         strategy: freezetag_central::WakeStrategy::Quadtree,
     };
-    let mut knowledge = Knowledge::with_cell_width(ell);
+    let knowledge = scratch.knowledge(ell);
     knowledge.note_awake(RobotId::SOURCE, src);
 
     // Round 0: ASeparator inside the source's square.
@@ -91,7 +103,7 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
     wake_square_with_team(
         sim,
         Team::new(vec![RobotId::SOURCE]),
-        &mut knowledge,
+        knowledge,
         square_of(home),
         own0,
         params,
@@ -148,15 +160,7 @@ pub fn a_wave<W: WorldView, R: Recorder>(sim: &mut Sim<W, R>, cfg: &AWaveConfig)
                     sim.wait_until(rb, slot_start);
                 }
                 let own = region_of_cell(cell_of, target_cell);
-                wake_square_with_team(
-                    sim,
-                    team.clone(),
-                    &mut knowledge,
-                    target_sq,
-                    own,
-                    params,
-                    round,
-                );
+                wake_square_with_team(sim, team.clone(), knowledge, target_sq, own, params, round);
                 // The team re-gathers at the target's corner for the next
                 // hop (members may have dispersed during the wake-up).
                 team.move_all(sim, target_sq.min_corner());

@@ -201,6 +201,18 @@ impl<W: io::Write> JobStreamWriter<W> {
         })
     }
 
+    /// A CSV streamer that does *not* write a header row — the resume
+    /// path, where the interrupted file's own header already stands.
+    pub fn csv_resumed(inner: W, flush_every: usize) -> Self {
+        JobStreamWriter {
+            inner,
+            csv: true,
+            flush_every: flush_every.max(1),
+            unflushed: 0,
+            written: 0,
+        }
+    }
+
     /// Writes one record, flushing when the cadence comes due.
     ///
     /// # Errors

@@ -22,6 +22,14 @@ pub enum ExpError {
     /// The scenario/algorithm combination is not executable (e.g. a
     /// centralized baseline on an adversarial layout).
     Unsupported(String),
+    /// The plan was cancelled cooperatively — an explicit cancel request
+    /// or an expired deadline — before every job finished. Results emitted
+    /// before the cancellation are valid and complete.
+    Cancelled,
+    /// A worker thread panicked while executing a job. The resident engine
+    /// catches the unwind at the job boundary so one bad job cannot take
+    /// down the serving process; the payload is the panic message.
+    Internal(String),
 }
 
 impl fmt::Display for ExpError {
@@ -38,6 +46,10 @@ impl fmt::Display for ExpError {
                 "run of {algorithm} on scenario '{scenario}' failed validation: {message}"
             ),
             ExpError::Unsupported(msg) => write!(f, "unsupported combination: {msg}"),
+            ExpError::Cancelled => {
+                write!(f, "plan cancelled (explicit cancel or deadline exceeded)")
+            }
+            ExpError::Internal(msg) => write!(f, "internal error: worker panicked: {msg}"),
         }
     }
 }

@@ -1,0 +1,230 @@
+//! Sidecar journals for resumable sweeps.
+//!
+//! A streaming sweep (`dftp sweep --out FILE`) writes records in strict
+//! job order, so an interrupted run leaves a *prefix* of the final file on
+//! disk. The journal — a `FILE.journal` sidecar holding a canonical
+//! fingerprint of the plan and output format — is what makes that prefix
+//! safely resumable: a restarted sweep with `--resume` verifies the
+//! fingerprint (same jobs, same bytes-per-record), truncates any partial
+//! trailing line the interruption left, counts the complete records, and
+//! re-submits the plan with
+//! [`SubmitOptions::first_job`](crate::SubmitOptions::first_job) set past
+//! them. Results are deterministic, so the resumed tail is byte-identical
+//! to what an uninterrupted run would have written (bar `wall_time_s`).
+//! The same primitives serve as crash recovery for the `dftp serve`
+//! result spool.
+//!
+//! The journal is removed on successful completion; its presence means
+//! "this output file is an incomplete prefix".
+
+use crate::plan::ExperimentPlan;
+use freezetag_instances::registry;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Canonical one-line identity of a streaming sweep: output format,
+/// profile, plan seed, repetitions, every scenario (display name,
+/// canonical generator, exact parameter bits) and every algorithm label —
+/// everything that determines the output bytes, and nothing that doesn't
+/// (thread counts are excluded; the determinism suites pin that they
+/// cannot change a record).
+pub fn plan_fingerprint(plan: &ExperimentPlan, format: &str) -> String {
+    let mut f = format!(
+        "dftp-sweep-journal v1|format={format}|profile={}|plan_seed={}|seeds={}",
+        plan.profile, plan.plan_seed, plan.seeds
+    );
+    for spec in &plan.scenarios {
+        let canonical = match registry::lookup(&spec.generator) {
+            Some(g) => g.name.to_string(),
+            None => spec.generator.clone(),
+        };
+        let _ = write!(f, "|scenario={}={canonical}", spec.name);
+        for (key, value) in &spec.params {
+            let _ = write!(f, ":{key}={:x}", value.to_bits());
+        }
+    }
+    for alg in &plan.algorithms {
+        let _ = write!(f, "|alg={}", alg.label());
+    }
+    f
+}
+
+/// The sidecar path for an output file: `results.jsonl` →
+/// `results.jsonl.journal`.
+pub fn journal_path(out: &Path) -> PathBuf {
+    let mut os = out.as_os_str().to_os_string();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+/// Writes (or overwrites) the journal for `out`.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_journal(out: &Path, fingerprint: &str) -> io::Result<()> {
+    fs::write(journal_path(out), format!("{fingerprint}\n"))
+}
+
+/// Reads the journal's fingerprint, `None` when no journal exists.
+///
+/// # Errors
+///
+/// Propagates read errors other than the file being absent.
+pub fn read_journal(out: &Path) -> io::Result<Option<String>> {
+    match fs::read_to_string(journal_path(out)) {
+        Ok(text) => Ok(Some(text.trim_end_matches('\n').to_string())),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Removes the journal; absent is fine (completion is idempotent).
+///
+/// # Errors
+///
+/// Propagates removal errors other than the file being absent.
+pub fn clear_journal(out: &Path) -> io::Result<()> {
+    match fs::remove_file(journal_path(out)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// What [`resume_point`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeState {
+    /// Complete records already present (the `first_job` to resume from).
+    pub records: usize,
+    /// Whether a complete header line stands (always `false` for
+    /// headerless formats).
+    pub header_present: bool,
+}
+
+/// Prepares an interrupted output file for appending: truncates any
+/// partial trailing line (a record is only durable once its newline is)
+/// and counts the complete lines that remain. `has_header` says the
+/// format spends its first line on a header (CSV) rather than a record.
+/// A missing file resumes from zero.
+///
+/// # Errors
+///
+/// Propagates read/truncate errors.
+pub fn resume_point(out: &Path, has_header: bool) -> io::Result<ResumeState> {
+    let data = match fs::read(out) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(ResumeState {
+                records: 0,
+                header_present: false,
+            })
+        }
+        Err(e) => Err(e)?,
+    };
+    // Everything after the last newline is an interrupted partial record.
+    let keep = data
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    if keep < data.len() {
+        let file = fs::OpenOptions::new().write(true).open(out)?;
+        file.set_len(keep as u64)?;
+    }
+    let lines = data[..keep].iter().filter(|&&b| b == b'\n').count();
+    let header_present = has_header && lines > 0;
+    Ok(ResumeState {
+        records: lines.saturating_sub(has_header as usize),
+        header_present,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScenarioSpec;
+    use freezetag_core::Algorithm;
+
+    fn plan() -> ExperimentPlan {
+        ExperimentPlan::new("j")
+            .scenario(
+                ScenarioSpec::new("disk")
+                    .with("n", 12.0)
+                    .with("radius", 4.0),
+            )
+            .algorithm(Algorithm::Grid)
+            .seeds(2)
+    }
+
+    #[test]
+    fn fingerprint_tracks_everything_that_shapes_the_bytes() {
+        let base = plan_fingerprint(&plan(), "jsonl");
+        assert!(base.contains("format=jsonl"));
+        assert!(base.contains("uniform_disk"), "canonical name: {base}");
+        assert_ne!(base, plan_fingerprint(&plan(), "csv"));
+        assert_ne!(base, plan_fingerprint(&plan().plan_seed(9), "jsonl"));
+        assert_ne!(base, plan_fingerprint(&plan().seeds(3), "jsonl"));
+        assert_ne!(
+            base,
+            plan_fingerprint(&plan().profile(crate::Profile::Stats), "jsonl")
+        );
+        // Thread counts don't change output bytes, so they don't change
+        // the fingerprint either.
+        assert_eq!(base, plan_fingerprint(&plan().sim_threads(8), "jsonl"));
+    }
+
+    #[test]
+    fn journal_roundtrip_and_clear() {
+        let dir = std::env::temp_dir().join(format!("ftj-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("results.jsonl");
+        assert_eq!(read_journal(&out).unwrap(), None);
+        write_journal(&out, "fp").unwrap();
+        assert_eq!(read_journal(&out).unwrap(), Some("fp".to_string()));
+        clear_journal(&out).unwrap();
+        clear_journal(&out).unwrap();
+        assert_eq!(read_journal(&out).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_point_truncates_partial_tails_and_counts_records() {
+        let dir = std::env::temp_dir().join(format!("ftr-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("partial.jsonl");
+        assert_eq!(
+            resume_point(&out, false).unwrap(),
+            ResumeState {
+                records: 0,
+                header_present: false
+            }
+        );
+        fs::write(&out, "{\"a\":1}\n{\"b\":2}\n{\"trunc").unwrap();
+        let state = resume_point(&out, false).unwrap();
+        assert_eq!(state.records, 2);
+        assert_eq!(fs::read_to_string(&out).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+        // CSV: the header line is not a record; a header alone resumes
+        // from job 0 but must not be rewritten.
+        let csv = dir.join("partial.csv");
+        fs::write(&csv, "h1,h2\nrow\npart").unwrap();
+        assert_eq!(
+            resume_point(&csv, true).unwrap(),
+            ResumeState {
+                records: 1,
+                header_present: true
+            }
+        );
+        fs::write(&csv, "h1,h2\n").unwrap();
+        assert_eq!(
+            resume_point(&csv, true).unwrap(),
+            ResumeState {
+                records: 0,
+                header_present: true
+            }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -7,7 +7,7 @@
 //! algorithm specifications ([`AlgSpec`]: the three distributed
 //! algorithms, optionally with a Lemma 2 wake-strategy override, the
 //! centralized wake-tree baselines, or the exact small-`n` optimum), and a
-//! number of seeded repetitions per cell. [`run_plan`] executes the full
+//! number of seeded repetitions per cell. The [`Engine`] executes the full
 //! cross-product `scenarios × algorithms × seeds` on a `std::thread`
 //! worker pool, splitting the core budget between inter-job workers and
 //! each job's deterministic `sim_threads`-wide intra-job pool (see
@@ -23,10 +23,14 @@
 //!
 //! * [`plan`] — [`ScenarioSpec`], [`AlgSpec`], [`ExperimentPlan`], job
 //!   cross-product and validation;
-//! * [`runner`] — the worker pool, per-job execution (concrete and
-//!   adversarial worlds), [`JobResult`], [`run_single`] for harnesses
-//!   that need the schedule/trace of one run, and [`run_plan_streaming`]
-//!   for sweeps whose results go straight to disk instead of a vector;
+//! * [`engine`] — the [`Engine`] facade: plan submission onto a resident
+//!   worker pool, the in-order cancellable [`JobStream`], the
+//!   deterministic result cache, and the single-run entry points;
+//! * [`runner`] — per-job execution (concrete and adversarial worlds),
+//!   [`JobResult`] and the single-run result types, plus deprecated
+//!   pre-Engine free functions kept as thin shims;
+//! * [`serve`] — `dftp serve`: the engine behind a hand-rolled HTTP/1.1
+//!   service with streaming JSONL results;
 //! * [`agg`] — grouping job results into [`Aggregate`]s with
 //!   mean/min/max/p50/p95 statistics;
 //! * [`emit`] — JSON-lines, CSV, aggregated JSON, and the
@@ -35,32 +39,39 @@
 //! # Example
 //!
 //! ```
-//! use freezetag_exp::{agg, emit, run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
+//! use freezetag_exp::{agg, emit, AlgSpec, Engine, ExperimentPlan, ScenarioSpec};
 //! use freezetag_core::Algorithm;
 //!
 //! let plan = ExperimentPlan::new("doc")
 //!     .scenario(ScenarioSpec::new("disk").with("n", 15.0).with("radius", 5.0))
 //!     .algorithm(AlgSpec::from(Algorithm::Grid))
 //!     .seeds(2);
-//! let results = run_plan(&plan, 2).unwrap();
+//! let results = Engine::with_threads(2).run(&plan).unwrap();
 //! assert_eq!(results.len(), 2);
 //! let aggregates = agg::aggregate(&results);
 //! let json = emit::aggregates_to_json(&plan, &aggregates);
 //! assert!(json.contains("\"makespan\""));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod agg;
 pub mod emit;
+pub mod engine;
 mod error;
+pub mod journal;
 pub mod plan;
 pub mod runner;
+pub mod serve;
 
 pub use agg::{aggregate, Aggregate, Stats, StreamingAgg};
 pub use emit::JobStreamWriter;
+pub use engine::{CacheStats, Engine, EngineConfig, JobStream, SubmitOptions};
 pub use error::ExpError;
 pub use plan::{derive_seed, AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
+pub use runner::{inter_job_workers, CompressedRun, JobResult, SingleRun, StatsRun};
+#[allow(deprecated)]
 pub use runner::{
-    inter_job_workers, run_plan, run_plan_streaming, run_single, run_single_compressed,
-    run_single_compressed_with, run_single_stats, run_single_stats_with, run_single_with,
-    CompressedRun, JobResult, SingleRun, StatsRun,
+    run_plan, run_plan_streaming, run_single, run_single_compressed, run_single_compressed_with,
+    run_single_stats, run_single_stats_with, run_single_with,
 };

@@ -1,23 +1,55 @@
-//! Plan execution: a `std::thread` worker pool over the job
-//! cross-product, with results reported in deterministic job order.
+//! Per-job execution: building a world from a [`JobSpec`], dispatching the
+//! algorithm under the plan's recorder profile, and measuring the result.
+//!
+//! This module owns the *single-job* layer: the result types
+//! ([`JobResult`], [`SingleRun`], [`StatsRun`], [`CompressedRun`]), the
+//! worker-resident [`JobContext`] and the core-budget split
+//! ([`inter_job_workers`]). Multi-job orchestration — worker pools,
+//! streaming windows, the result cache, cancellation — lives in the
+//! [`Engine`](crate::Engine) facade; the free functions kept here
+//! ([`run_single`] and friends, [`run_plan`], [`run_plan_streaming`]) are
+//! deprecated shims over it.
 
 use crate::plan::{AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
 use crate::ExpError;
 use freezetag_central::{optimal_makespan, WakeStrategy};
 use freezetag_core::{
-    a_grid, a_separator, a_wave, AGridConfig, ASeparatorConfig, AWaveConfig, Algorithm, RunReport,
+    a_grid, a_separator_in, a_wave_in, AGridConfig, ASeparatorConfig, AWaveConfig, AlgScratch,
+    Algorithm, RunReport,
 };
 use freezetag_geometry::Point;
 use freezetag_instances::registry::{self, Built};
 use freezetag_instances::{AdmissibleTuple, Instance};
 use freezetag_sim::{
-    validate, validate_compressed, AdversarialWorld, ConcreteWorld, ParPool, Recorder, RobotId,
-    Schedule, Sim, ValidationOptions, WorldView,
+    validate, validate_compressed, AdversarialWorld, CancelToken, ConcreteWorld, ParPool, Recorder,
+    RobotId, Schedule, Sim, StatsRecorder, ValidationOptions, WorldView,
 };
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+/// Worker-resident per-job state: everything a resident worker thread
+/// reuses across jobs instead of reallocating — the algorithms'
+/// [`AlgScratch`] (knowledge store + spatial index, epoch-cleared between
+/// jobs) and the stats recorder's per-robot buffers (recycled in place).
+/// The cancellation token is shared by every job the worker runs.
+///
+/// Reuse is unobservable in results (pinned by the determinism suites);
+/// state left dirty by a cancelled job heals itself: the scratch resets on
+/// next use and a recorder lost to an unwind is simply rebuilt.
+pub(crate) struct JobContext {
+    pub(crate) cancel: CancelToken,
+    pub(crate) scratch: AlgScratch,
+    pub(crate) stats_recorder: Option<StatsRecorder>,
+}
+
+impl JobContext {
+    pub(crate) fn new(cancel: CancelToken) -> Self {
+        JobContext {
+            cancel,
+            scratch: AlgScratch::new(),
+            stats_recorder: None,
+        }
+    }
+}
 
 /// Everything measured on one job of a plan. Every field except
 /// [`JobResult::wall_time_s`] is a deterministic function of
@@ -132,14 +164,16 @@ fn dispatch<W: WorldView, R: Recorder>(
     tuple: &AdmissibleTuple,
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
+    scratch: &mut AlgScratch,
 ) -> Result<(), ExpError> {
     match (algorithm, strategy) {
-        (Algorithm::Separator, s) => a_separator(
+        (Algorithm::Separator, s) => a_separator_in(
             sim,
             &ASeparatorConfig {
                 tuple: *tuple,
                 strategy: s.unwrap_or_default(),
             },
+            scratch,
         ),
         (_, Some(_)) => {
             return Err(ExpError::Unsupported(format!(
@@ -147,7 +181,7 @@ fn dispatch<W: WorldView, R: Recorder>(
             )))
         }
         (Algorithm::Grid, None) => a_grid(sim, &AGridConfig { ell: tuple.ell }),
-        (Algorithm::Wave, None) => a_wave(sim, &AWaveConfig { ell: tuple.ell }),
+        (Algorithm::Wave, None) => a_wave_in(sim, &AWaveConfig { ell: tuple.ell }, scratch),
     }
     Ok(())
 }
@@ -159,10 +193,13 @@ fn single_concrete(
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
     pool: ParPool,
+    ctx: &mut JobContext,
 ) -> Result<SingleRun, ExpError> {
     let tuple = tuple_for(spec, &inst, &pool)?;
-    let mut sim = Sim::new(ConcreteWorld::with_pool(&inst, &pool)).with_pool(pool);
-    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let mut sim = Sim::new(ConcreteWorld::with_pool(&inst, &pool))
+        .with_pool(pool)
+        .with_cancel(ctx.cancel.clone());
+    dispatch(&mut sim, &tuple, algorithm, strategy, &mut ctx.scratch)?;
     let looks = sim.world().look_count();
     let (_, schedule, trace) = sim.into_parts();
     let label = AlgSpec::Distributed {
@@ -212,13 +249,16 @@ fn single_adversarial(
     algorithm: Algorithm,
     strategy: Option<WakeStrategy>,
     pool: ParPool,
+    ctx: &mut JobContext,
 ) -> Result<SingleRun, ExpError> {
     let tuple = AdmissibleTuple::new(layout.ell, layout.rho, layout.n());
     // Adversarial sensing is impure (look history is state), so the pool
     // only accelerates world construction and frontier bucketing here —
     // which keeps the run identical at any `sim_threads`.
-    let mut sim = Sim::new(AdversarialWorld::with_pool(layout, &pool)).with_pool(pool);
-    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let mut sim = Sim::new(AdversarialWorld::with_pool(layout, &pool))
+        .with_pool(pool)
+        .with_cancel(ctx.cancel.clone());
+    dispatch(&mut sim, &tuple, algorithm, strategy, &mut ctx.scratch)?;
     let all_awake = sim.world().all_awake();
     let looks = sim.world().look_count();
     let finals = sim.world().final_positions();
@@ -275,31 +315,14 @@ fn single_adversarial(
     })
 }
 
-/// Runs one scenario × algorithm × seed combination to completion and
-/// returns the full run — schedule, phase trace, positions — for harnesses
-/// (figures, SVG rendering) that need more than aggregate numbers.
-///
-/// # Errors
-///
-/// Registry errors, validation failures, or an [`ExpError::Unsupported`]
-/// combination (centralized baselines have no schedule, so only
-/// [`AlgSpec::Distributed`] is accepted here).
-pub fn run_single(spec: &ScenarioSpec, alg: AlgSpec, seed: u64) -> Result<SingleRun, ExpError> {
-    run_single_with(spec, alg, seed, ParPool::sequential())
-}
-
-/// [`run_single`] with an explicit [`ParPool`] for deterministic intra-run
-/// parallelism — the `--sim-threads` execution path. The returned run is
-/// bit-identical for any pool width.
-///
-/// # Errors
-///
-/// As [`run_single`].
-pub fn run_single_with(
+/// The full-profile single-run core shared by the [`Engine`](crate::Engine)
+/// facade and the deprecated [`run_single`] shims.
+pub(crate) fn single_full(
     spec: &ScenarioSpec,
     alg: AlgSpec,
     seed: u64,
     pool: ParPool,
+    ctx: &mut JobContext,
 ) -> Result<SingleRun, ExpError> {
     let AlgSpec::Distributed {
         algorithm,
@@ -312,11 +335,56 @@ pub fn run_single_with(
         )));
     };
     match registry::build(&spec.generator, &spec.params, seed)? {
-        Built::Concrete(inst) => single_concrete(&spec.name, spec, inst, algorithm, strategy, pool),
+        Built::Concrete(inst) => {
+            single_concrete(&spec.name, spec, inst, algorithm, strategy, pool, ctx)
+        }
         Built::Adversarial(layout) => {
-            single_adversarial(&spec.name, layout, algorithm, strategy, pool)
+            single_adversarial(&spec.name, layout, algorithm, strategy, pool, ctx)
         }
     }
+}
+
+/// Runs one scenario × algorithm × seed combination to completion and
+/// returns the full run — schedule, phase trace, positions — for harnesses
+/// (figures, SVG rendering) that need more than aggregate numbers.
+///
+/// # Errors
+///
+/// Registry errors, validation failures, or an [`ExpError::Unsupported`]
+/// combination (centralized baselines have no schedule, so only
+/// [`AlgSpec::Distributed`] is accepted here).
+#[deprecated(note = "use Engine::new(EngineConfig::default()).single(...)")]
+pub fn run_single(spec: &ScenarioSpec, alg: AlgSpec, seed: u64) -> Result<SingleRun, ExpError> {
+    single_full(
+        spec,
+        alg,
+        seed,
+        ParPool::sequential(),
+        &mut JobContext::new(CancelToken::never()),
+    )
+}
+
+/// [`run_single`] with an explicit [`ParPool`] for deterministic intra-run
+/// parallelism — the `--sim-threads` execution path. The returned run is
+/// bit-identical for any pool width.
+///
+/// # Errors
+///
+/// As [`run_single`].
+#[deprecated(note = "use Engine::single with EngineConfig::sim_threads")]
+pub fn run_single_with(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+    pool: ParPool,
+) -> Result<SingleRun, ExpError> {
+    single_full(
+        spec,
+        alg,
+        seed,
+        pool,
+        &mut JobContext::new(CancelToken::never()),
+    )
 }
 
 /// The aggregate-only measurements of one constant-memory run.
@@ -354,12 +422,19 @@ pub struct StatsRun {
 ///
 /// Registry errors, or [`ExpError::Unsupported`] for non-distributed
 /// algorithms and adversarial scenarios (those require full schedules).
+#[deprecated(note = "use Engine::new(EngineConfig::default()).single_stats(...)")]
 pub fn run_single_stats(
     spec: &ScenarioSpec,
     alg: AlgSpec,
     seed: u64,
 ) -> Result<StatsRun, ExpError> {
-    run_single_stats_with(spec, alg, seed, ParPool::sequential())
+    single_stats(
+        spec,
+        alg,
+        seed,
+        ParPool::sequential(),
+        &mut JobContext::new(CancelToken::never()),
+    )
 }
 
 /// [`run_single_stats`] with an explicit [`ParPool`] for deterministic
@@ -371,11 +446,30 @@ pub fn run_single_stats(
 /// # Errors
 ///
 /// As [`run_single_stats`].
+#[deprecated(note = "use Engine::single_stats with EngineConfig::sim_threads")]
 pub fn run_single_stats_with(
     spec: &ScenarioSpec,
     alg: AlgSpec,
     seed: u64,
     pool: ParPool,
+) -> Result<StatsRun, ExpError> {
+    single_stats(
+        spec,
+        alg,
+        seed,
+        pool,
+        &mut JobContext::new(CancelToken::never()),
+    )
+}
+
+/// The stats-profile single-run core: constant-memory recorder, recycled
+/// from the worker-resident [`JobContext`] when one is banked there.
+pub(crate) fn single_stats(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+    pool: ParPool,
+    ctx: &mut JobContext,
 ) -> Result<StatsRun, ExpError> {
     let AlgSpec::Distributed {
         algorithm,
@@ -391,13 +485,23 @@ pub fn run_single_stats_with(
         .map_err(|e| ExpError::Registry(format!("scenario '{}': {e}", spec.name)))?;
     let tuple = tuple_for(spec, &inst, &pool)?;
     let world = ConcreteWorld::with_pool(&inst, &pool);
+    let n = inst.n();
     drop(inst); // the world owns its own flat copy; free the Vec<Point>
-    let mut sim = Sim::with_stats(world).with_pool(pool);
-    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let recorder = match ctx.stats_recorder.take() {
+        Some(mut r) => {
+            r.recycle(n);
+            r
+        }
+        None => StatsRecorder::with_capacity(n),
+    };
+    let mut sim = Sim::with_recorder(world, recorder)
+        .with_pool(pool)
+        .with_cancel(ctx.cancel.clone());
+    dispatch(&mut sim, &tuple, algorithm, strategy, &mut ctx.scratch)?;
     let looks = sim.world().look_count();
     let all_awake = sim.world().all_awake();
     let (_, rec, _) = sim.into_recorder_parts();
-    Ok(StatsRun {
+    let out = StatsRun {
         n: tuple.n,
         ell: tuple.ell,
         rho: tuple.rho,
@@ -408,7 +512,10 @@ pub fn run_single_stats_with(
         looks,
         all_awake,
         peak_mem_bytes: rec.memory_bytes(),
-    })
+    };
+    // Bank the recorder for the worker's next stats job.
+    ctx.stats_recorder = Some(rec);
+    Ok(out)
 }
 
 /// The measurements of one compressed-recorder run: the aggregate numbers
@@ -455,12 +562,19 @@ pub struct CompressedRun {
 /// Registry errors, validation failures, or [`ExpError::Unsupported`] for
 /// non-distributed algorithms and adversarial scenarios (the theorem
 /// checks need a materialized [`Schedule`]).
+#[deprecated(note = "use Engine::new(EngineConfig::default()).single_compressed(...)")]
 pub fn run_single_compressed(
     spec: &ScenarioSpec,
     alg: AlgSpec,
     seed: u64,
 ) -> Result<CompressedRun, ExpError> {
-    run_single_compressed_with(spec, alg, seed, ParPool::sequential())
+    single_compressed(
+        spec,
+        alg,
+        seed,
+        ParPool::sequential(),
+        &mut JobContext::new(CancelToken::never()),
+    )
 }
 
 /// [`run_single_compressed`] with an explicit [`ParPool`] for
@@ -472,11 +586,30 @@ pub fn run_single_compressed(
 /// # Errors
 ///
 /// As [`run_single_compressed`].
+#[deprecated(note = "use Engine::single_compressed with EngineConfig::sim_threads")]
 pub fn run_single_compressed_with(
     spec: &ScenarioSpec,
     alg: AlgSpec,
     seed: u64,
     pool: ParPool,
+) -> Result<CompressedRun, ExpError> {
+    single_compressed(
+        spec,
+        alg,
+        seed,
+        pool,
+        &mut JobContext::new(CancelToken::never()),
+    )
+}
+
+/// The compressed-profile single-run core: delta-encoded schedule blocks
+/// plus streaming validation.
+pub(crate) fn single_compressed(
+    spec: &ScenarioSpec,
+    alg: AlgSpec,
+    seed: u64,
+    pool: ParPool,
+    ctx: &mut JobContext,
 ) -> Result<CompressedRun, ExpError> {
     let AlgSpec::Distributed {
         algorithm,
@@ -494,8 +627,10 @@ pub fn run_single_compressed_with(
     // The instance stays alive (unlike the stats path): the streaming
     // validator needs the initial positions to check wake sites.
     let world = ConcreteWorld::with_pool(&inst, &pool);
-    let mut sim = Sim::with_compressed(world).with_pool(pool);
-    dispatch(&mut sim, &tuple, algorithm, strategy)?;
+    let mut sim = Sim::with_compressed(world)
+        .with_pool(pool)
+        .with_cancel(ctx.cancel.clone());
+    dispatch(&mut sim, &tuple, algorithm, strategy, &mut ctx.scratch)?;
     let looks = sim.world().look_count();
     let all_awake = sim.world().all_awake();
     let (_, rec, _) = sim.into_recorder_parts();
@@ -561,7 +696,14 @@ fn central_job(
     Ok((inst.n(), tuple.ell, tuple.rho, makespan, total))
 }
 
-fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpError> {
+/// Executes one job of a plan inside a worker-resident [`JobContext`] —
+/// the single execution path behind the [`Engine`](crate::Engine) workers
+/// and (through a throwaway context) the deprecated shims.
+pub(crate) fn execute_job_ctx(
+    plan: &ExperimentPlan,
+    job: &JobSpec,
+    ctx: &mut JobContext,
+) -> Result<JobResult, ExpError> {
     let spec = &plan.scenarios[job.scenario];
     let pool = ParPool::new(plan.sim_threads.max(1));
     let generator = registry::lookup(&spec.generator)
@@ -570,7 +712,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
     let started = Instant::now();
     let result = match job.algorithm {
         AlgSpec::Distributed { .. } if plan.profile == Profile::Compressed => {
-            let run = run_single_compressed_with(spec, job.algorithm, job.seed, pool)?;
+            let run = single_compressed(spec, job.algorithm, job.seed, pool, ctx)?;
             JobResult {
                 job: job.index,
                 scenario: spec.name.clone(),
@@ -593,7 +735,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
             }
         }
         AlgSpec::Distributed { .. } if plan.profile == Profile::Stats => {
-            let run = run_single_stats_with(spec, job.algorithm, job.seed, pool)?;
+            let run = single_stats(spec, job.algorithm, job.seed, pool, ctx)?;
             JobResult {
                 job: job.index,
                 scenario: spec.name.clone(),
@@ -616,7 +758,7 @@ fn execute_job(plan: &ExperimentPlan, job: &JobSpec) -> Result<JobResult, ExpErr
             }
         }
         AlgSpec::Distributed { .. } => {
-            let run = run_single_with(spec, job.algorithm, job.seed, pool)?;
+            let run = single_full(spec, job.algorithm, job.seed, pool, ctx)?;
             JobResult {
                 job: job.index,
                 scenario: spec.name.clone(),
@@ -697,62 +839,9 @@ pub fn inter_job_workers(threads: usize, sim_threads: usize, jobs: usize) -> usi
 /// Plan validation errors before anything runs. A failing job makes
 /// workers stop picking up further jobs (in-flight jobs finish), and the
 /// lowest-indexed recorded failure is returned.
+#[deprecated(note = "use Engine::with_threads(threads).run(plan)")]
 pub fn run_plan(plan: &ExperimentPlan, threads: usize) -> Result<Vec<JobResult>, ExpError> {
-    plan.validate()?;
-    let jobs = plan.jobs();
-    let threads = inter_job_workers(threads, plan.sim_threads, jobs.len());
-    let next = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<JobResult, ExpError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let out = execute_job(plan, job);
-                if out.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-    let mut results = Vec::with_capacity(jobs.len());
-    for slot in slots {
-        match slot.into_inner().expect("result slot poisoned") {
-            Some(Ok(r)) => results.push(r),
-            Some(Err(e)) => return Err(e),
-            // Unexecuted slot: a lower-indexed in-flight job failed, and
-            // its error is found by this very scan — unless the failure
-            // landed at a higher index, which the scan reaches next.
-            None => continue,
-        }
-    }
-    Ok(results)
-}
-
-/// Reorder window of [`run_plan_streaming`]: how many completed jobs may
-/// be buffered ahead of the in-order emission point before workers stop
-/// claiming new jobs. Generous enough that workers rarely stall on one
-/// slow job, small enough that memory stays bounded by
-/// `O(window + workers)` results instead of `O(jobs)`.
-fn streaming_window(workers: usize) -> usize {
-    (4 * workers).max(64)
-}
-
-struct StreamShared {
-    /// Next unclaimed job index (claims are strictly in index order).
-    next_claim: usize,
-    /// Next index to hand to the consumer callback.
-    next_emit: usize,
-    /// Completed jobs not yet emitted, keyed by job index.
-    buffer: BTreeMap<usize, Result<JobResult, ExpError>>,
-    /// Set on the first failure; stops workers claiming further jobs.
-    failed: bool,
+    crate::engine::Engine::with_threads(threads).run(plan)
 }
 
 /// [`run_plan`] without the `O(jobs)` result vector: every [`JobResult`]
@@ -774,86 +863,20 @@ struct StreamShared {
 /// lowest-indexed failure is returned; results preceding it have already
 /// been emitted by then — callers streaming to a file should treat an
 /// `Err` as truncating the output.
+#[deprecated(note = "use Engine::with_threads(threads).run_streaming(plan, on_result)")]
 pub fn run_plan_streaming(
     plan: &ExperimentPlan,
     threads: usize,
-    mut on_result: impl FnMut(&JobResult),
+    on_result: impl FnMut(&JobResult),
 ) -> Result<(), ExpError> {
-    plan.validate()?;
-    let jobs = plan.jobs();
-    let workers = inter_job_workers(threads, plan.sim_threads, jobs.len());
-    let window = streaming_window(workers);
-    let state = Mutex::new(StreamShared {
-        next_claim: 0,
-        next_emit: 0,
-        buffer: BTreeMap::new(),
-        failed: false,
-    });
-    let progress = Condvar::new();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = {
-                    let mut g = state.lock().expect("stream state poisoned");
-                    // Backpressure: don't run further ahead of the
-                    // emission point than the reorder window allows.
-                    while !g.failed
-                        && g.next_claim < jobs.len()
-                        && g.next_claim >= g.next_emit + window
-                    {
-                        g = progress.wait(g).expect("stream state poisoned");
-                    }
-                    if g.failed || g.next_claim >= jobs.len() {
-                        break;
-                    }
-                    g.next_claim += 1;
-                    g.next_claim - 1
-                };
-                let out = execute_job(plan, &jobs[i]);
-                let mut g = state.lock().expect("stream state poisoned");
-                if out.is_err() {
-                    g.failed = true;
-                }
-                g.buffer.insert(i, out);
-                progress.notify_all();
-            });
-        }
-        // This thread is the consumer: drain the buffer in index order.
-        loop {
-            let item = {
-                let mut g = state.lock().expect("stream state poisoned");
-                loop {
-                    let want = g.next_emit;
-                    if let Some(r) = g.buffer.remove(&want) {
-                        g.next_emit += 1;
-                        // Emission moved the window: wake stalled workers.
-                        progress.notify_all();
-                        break Some(r);
-                    }
-                    // The job at next_emit was claimed (claims are in
-                    // index order), so its result is still in flight —
-                    // unless nothing below next_emit ever ran, which
-                    // means every job has been emitted or abandoned.
-                    if g.next_emit >= g.next_claim && (g.failed || g.next_claim >= jobs.len()) {
-                        break None;
-                    }
-                    g = progress.wait(g).expect("stream state poisoned");
-                }
-            };
-            match item {
-                Some(Ok(r)) => on_result(&r),
-                Some(Err(e)) => {
-                    // `failed` is already set, so workers are winding
-                    // down; the scope joins the in-flight ones.
-                    return Err(e);
-                }
-                None => return Ok(()),
-            }
-        }
-    })
+    crate::engine::Engine::with_threads(threads).run_streaming(plan, on_result)
 }
 
+// The shims above are this module's public contract with pre-Engine
+// callers, so the tests exercise the deprecated surface on purpose —
+// pinning that every shim still produces the Engine's exact output.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::plan::ScenarioSpec;
@@ -988,13 +1011,6 @@ mod tests {
         let err = run_plan_streaming(&plan, 2, |r| streamed.push(r.job)).unwrap_err();
         assert!(matches!(err, ExpError::Unsupported(_)), "{err}");
         assert_eq!(streamed, vec![0, 1], "AGrid jobs precede the failure");
-    }
-
-    #[test]
-    fn streaming_window_bounds_the_reorder_buffer() {
-        assert_eq!(streaming_window(1), 64);
-        assert_eq!(streaming_window(16), 64);
-        assert_eq!(streaming_window(32), 128);
     }
 
     #[test]

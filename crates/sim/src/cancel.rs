@@ -1,0 +1,226 @@
+//! Cooperative cancellation and deadlines for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! controller (the engine worker loop, the serve layer's cancel endpoint)
+//! and a running [`Sim`](crate::Sim). The sim polls the token at its
+//! sensing checkpoints — every [`look_into`](crate::Sim::look_into),
+//! [`look_many_into`](crate::Sim::look_many_into) and
+//! [`wake`](crate::Sim::wake) — and, once the token fires, aborts the run
+//! by unwinding with a [`Cancelled`] payload. The unwind uses
+//! [`std::panic::resume_unwind`], which skips the panic hook, so a
+//! cancelled job produces no stderr noise; the engine boundary catches the
+//! payload with [`catch_cancel`] and maps it to an error value.
+//!
+//! Cancellation never changes results: a job either runs to completion
+//! (bit-identical to an uncancelled run, since the polls are pure reads)
+//! or produces no result at all.
+//!
+//! Two trigger paths share the token:
+//!
+//! * **explicit** — [`CancelToken::cancel`] raises an atomic flag; the
+//!   next checkpoint observes it (a relaxed load, ~1 ns, checked on
+//!   *every* checkpoint);
+//! * **deadline** — [`CancelToken::with_deadline`] arms a wall-clock
+//!   cutoff; because reading the clock is comparatively expensive the sim
+//!   only re-checks it every [`DEADLINE_STRIDE`] checkpoints, then latches
+//!   the flag so all clones observe the expiry.
+//!
+//! The default token ([`CancelToken::never`]) is inert and adds only a
+//! predictable branch to the checkpoint, so uncancellable runs pay
+//! essentially nothing.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many checkpoints pass between wall-clock deadline re-checks.
+///
+/// Explicit cancellation is observed on every checkpoint regardless; only
+/// the `Instant::now()` call is amortised. At the ≥ 10⁵ looks/s of any
+/// non-trivial run this bounds deadline latency well under the 1 s the
+/// serve layer promises.
+pub const DEADLINE_STRIDE: u32 = 1024;
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Unwind payload identifying a cooperative cancellation (as opposed to an
+/// algorithm-bug panic). See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl Cancelled {
+    /// Aborts the current job by unwinding with a [`Cancelled`] payload,
+    /// bypassing the panic hook (no backtrace, no stderr output). Callers
+    /// above [`catch_cancel`] never observe this as a panic.
+    pub fn unwind() -> ! {
+        resume_unwind(Box::new(Cancelled))
+    }
+}
+
+/// A cheap, cloneable cancellation handle; see the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use freezetag_sim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// An active token without a deadline: fires only on [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// An active token that additionally fires once `budget` wall-clock
+    /// time has elapsed (measured from this call).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            })),
+        }
+    }
+
+    /// The inert token: never fires, costs one predictable branch per
+    /// checkpoint. This is the default for every [`Sim`](crate::Sim).
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; a no-op on [`never`](Self::never)
+    /// tokens. Every clone observes the request at its next checkpoint.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has fired (explicitly or by deadline expiry).
+    /// Reads the clock if a deadline is armed and the flag is not yet set.
+    pub fn is_cancelled(&self) -> bool {
+        self.should_stop(true)
+    }
+
+    /// The checkpoint predicate: `true` once the run must stop.
+    /// `check_deadline` gates the `Instant::now()` call so hot loops can
+    /// amortise it (see [`DEADLINE_STRIDE`]); the explicit flag is always
+    /// consulted. A deadline observed as expired latches the flag.
+    #[inline]
+    pub fn should_stop(&self, check_deadline: bool) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if check_deadline {
+            if let Some(deadline) = inner.deadline {
+                if Instant::now() >= deadline {
+                    inner.flag.store(true, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Runs `f`, converting a [`Cancelled`] unwind from a sim checkpoint into
+/// `Err(Cancelled)`. Any other panic is propagated unchanged. This is the
+/// engine-side boundary matching [`Cancelled::unwind`].
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: a cancelled job's
+/// mutable state (worker-resident scratch, recorders) is discarded or
+/// epoch-cleared by the caller, never observed.
+pub fn catch_cancel<T>(f: impl FnOnce() -> T) -> Result<T, Cancelled> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let payload: Box<dyn Any + Send> = payload;
+            if payload.downcast_ref::<Cancelled>().is_some() {
+                Err(Cancelled)
+            } else {
+                resume_unwind(payload)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_fires() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.should_stop(true));
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.should_stop(false));
+        t.cancel();
+        assert!(c.should_stop(false));
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_and_latches() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        // The deadline is only consulted on deep checks...
+        assert!(!t.should_stop(false));
+        // ...where it latches the flag...
+        assert!(t.should_stop(true));
+        // ...after which even shallow checks observe it.
+        assert!(t.should_stop(false));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn catch_cancel_maps_the_unwind_payload() {
+        let r = catch_cancel(|| {
+            Cancelled::unwind();
+        });
+        assert_eq!(r, Err(Cancelled));
+        let ok = catch_cancel(|| 7);
+        assert_eq!(ok, Ok(7));
+    }
+
+    #[test]
+    fn catch_cancel_propagates_other_panics() {
+        let r = std::panic::catch_unwind(|| catch_cancel(|| panic!("algorithm bug")));
+        assert!(r.is_err());
+    }
+}

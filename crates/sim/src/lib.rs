@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+pub mod cancel;
 mod compress;
 mod error;
 pub mod events;
@@ -62,6 +63,7 @@ mod validate;
 mod world;
 
 pub use adversary::AdversarialWorld;
+pub use cancel::{catch_cancel, CancelToken, Cancelled, DEADLINE_STRIDE};
 pub use compress::{
     CompressedRecorder, SegmentIter, WakeIter, SEG_BLOCK_EVENTS, WAKE_BLOCK_EVENTS,
 };

@@ -279,6 +279,27 @@ impl StatsRecorder {
         &self.wakes
     }
 
+    /// Restores the recorder to the fresh `with_capacity(n)` state while
+    /// keeping its allocations — the reuse path for worker-resident
+    /// recorders serving one job after another. A recycled recorder is
+    /// indistinguishable from a new one (including
+    /// [`memory_bytes`](Recorder::memory_bytes), which counts lengths, not
+    /// capacity).
+    pub fn recycle(&mut self, n: usize) {
+        self.wake_times.clear();
+        self.wake_times.resize(n + 1, ASLEEP);
+        self.times.clear();
+        self.times.resize(n + 1, 0.0);
+        self.pos_x.clear();
+        self.pos_x.resize(n + 1, 0.0);
+        self.pos_y.clear();
+        self.pos_y.resize(n + 1, 0.0);
+        self.travels.clear();
+        self.travels.resize(n + 1, 0.0);
+        self.wakes.clear();
+        self.active = 0;
+    }
+
     #[inline]
     fn check_active(&self, robot: RobotId) -> usize {
         let i = robot.index();

@@ -1,3 +1,4 @@
+use crate::cancel::{CancelToken, Cancelled, DEADLINE_STRIDE};
 use crate::record::{FullRecorder, Recorder, StatsRecorder};
 use crate::{
     CompressedRecorder, ParPool, RobotId, Schedule, Sighting, Trace, WakeEvent, WorldView,
@@ -37,6 +38,8 @@ pub struct Sim<W, R = FullRecorder> {
     recorder: R,
     trace: Trace,
     pool: ParPool,
+    cancel: CancelToken,
+    cancel_polls: u32,
 }
 
 impl<W: WorldView> Sim<W> {
@@ -89,6 +92,8 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
             recorder,
             trace: Trace::new(),
             pool: ParPool::sequential(),
+            cancel: CancelToken::never(),
+            cancel_polls: 0,
         }
     }
 
@@ -112,6 +117,36 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
     /// The pool batched operations run on (`Copy`; owns no threads).
     pub fn pool(&self) -> ParPool {
         self.pool
+    }
+
+    /// Attaches a [`CancelToken`] (builder style). The run polls it at
+    /// every sensing checkpoint — [`Sim::look_into`],
+    /// [`Sim::look_many_into`], [`Sim::wake`] — and aborts by unwinding
+    /// with [`Cancelled`] once it fires (caught at the engine boundary by
+    /// [`catch_cancel`](crate::catch_cancel)). Polling is a pure read, so
+    /// an uncancelled run is bit-identical with or without a token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The attached cancellation token (inert by default).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The cooperative cancellation checkpoint: cheap flag poll on every
+    /// call, wall-clock deadline re-check every [`DEADLINE_STRIDE`] calls.
+    /// Unwinds with [`Cancelled`] (bypassing the panic hook) once the
+    /// token fires.
+    #[inline]
+    fn cancel_checkpoint(&mut self) {
+        self.cancel_polls = self.cancel_polls.wrapping_add(1);
+        let deep = self.cancel_polls.is_multiple_of(DEADLINE_STRIDE);
+        if self.cancel.should_stop(deep) {
+            Cancelled::unwind();
+        }
     }
 
     /// Read access to the world.
@@ -224,6 +259,7 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
     ///
     /// Panics if the robot is asleep.
     pub fn look_into(&mut self, robot: RobotId, out: &mut Vec<Sighting>) {
+        self.cancel_checkpoint();
         let (pos, time) = (self.pos(robot), self.time(robot));
         self.world.look_into(pos, time, out);
     }
@@ -243,6 +279,7 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
         out: &mut Vec<Sighting>,
         counts: &mut Vec<u32>,
     ) {
+        self.cancel_checkpoint();
         let pool = self.pool;
         self.world.look_batch_into(queries, &pool, out, counts);
     }
@@ -257,6 +294,7 @@ impl<W: WorldView, R: Recorder> Sim<W, R> {
     /// position is unknown to the world, or the two are not co-located —
     /// all of which are algorithm bugs.
     pub fn wake(&mut self, waker: RobotId, target: RobotId) -> RobotId {
+        self.cancel_checkpoint();
         let (wpos, time) = (self.pos(waker), self.time(waker));
         let tpos = self
             .world
@@ -434,6 +472,31 @@ mod tests {
         assert_eq!(flat.len(), 3);
         assert_eq!(flat[2].id, RobotId::sleeper(2));
         assert_eq!(s.world().look_count(), 3);
+    }
+
+    #[test]
+    fn cancelled_token_unwinds_at_the_next_look() {
+        use crate::cancel::{catch_cancel, CancelToken, Cancelled};
+        let token = CancelToken::new();
+        token.cancel();
+        let r = catch_cancel(|| {
+            let mut s = sim().with_cancel(token);
+            s.look(RobotId::SOURCE);
+            unreachable!("checkpoint must fire before sensing");
+        });
+        assert_eq!(r, Err(Cancelled));
+    }
+
+    #[test]
+    fn inert_token_changes_nothing() {
+        use crate::cancel::CancelToken;
+        let mut plain = sim();
+        let mut tokened = sim().with_cancel(CancelToken::new());
+        assert_eq!(
+            plain.look(RobotId::SOURCE).len(),
+            tokened.look(RobotId::SOURCE).len()
+        );
+        assert!(!tokened.cancel_token().is_cancelled());
     }
 
     #[test]

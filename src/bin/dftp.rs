@@ -18,7 +18,8 @@
 
 use freezetag::core::{bounds, run_algorithm, solve, Algorithm};
 use freezetag::exp::{
-    agg, emit, run_plan, run_single, AlgSpec, ExperimentPlan, Profile, ScenarioSpec,
+    agg, emit, journal, serve, AlgSpec, Engine, EngineConfig, ExperimentPlan, Profile,
+    ScenarioSpec, SubmitOptions,
 };
 use freezetag::instances::registry::{self, GeneratorInfo, ParamMap};
 use freezetag::instances::Instance;
@@ -59,7 +60,9 @@ fn usage() -> String {
                 [--threads <N>] [--sim-threads <N>]
                 [--profile <full|stats|compressed>]
                 [--format <json|jsonl|csv>] [--flush-every <K>]
-                [--out <FILE>] [--bench-json <FILE>] [--name <NAME>]
+                [--out <FILE>] [--resume] [--bench-json <FILE>] [--name <NAME>]
+  dftp serve    [--port <P>] [--threads <N>] [--cache-capacity <K>]
+                [--queue-depth <D>]
 
 sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
 sweep algorithms:     separator[:STRATEGY] | grid | wave |
@@ -80,6 +83,18 @@ sweep parallelism:    --threads     = total core budget (inter-job workers)
 sweep streaming:      with --out, records stream to the file as jobs finish
                       (bounded memory); --flush-every <K> flushes the file
                       every K records (default 64)
+sweep resume:         --out FILE keeps a FILE.journal sidecar while a
+                      jsonl/csv sweep runs; after an interruption,
+                      re-running with --resume verifies the plan matches,
+                      drops any partial trailing record, and restarts at
+                      the first missing job (same bytes as an unbroken run)
+serve:                long-lived sweep service on 127.0.0.1 (HTTP/1.1):
+                      POST /plans submits a sweep-grammar plan
+                      (scenarios=...&algs=...&seeds=...&deadline-s=...),
+                      GET /plans/<id>/stream streams JSONL results,
+                      GET /plans/<id> and /health report status,
+                      POST /plans/<id>/cancel stops a plan; repeated
+                      submissions are served from a deterministic cache
 
 generators (defaults in parentheses; unseeded generators ignore --seed):
 ",
@@ -109,9 +124,18 @@ fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let mut i = 1;
     while i < args.len() {
         let key = args[i].strip_prefix("--")?.to_string();
-        let val = args.get(i + 1)?.clone();
-        opts.insert(key, val);
-        i += 2;
+        // A flag followed by another flag (or nothing) is boolean-style:
+        // `--resume` stores an empty value its command tests by presence.
+        match args.get(i + 1) {
+            Some(val) if !val.starts_with("--") => {
+                opts.insert(key, val.clone());
+                i += 2;
+            }
+            _ => {
+                opts.insert(key, String::new());
+                i += 1;
+            }
+        }
     }
     Some((cmd, opts))
 }
@@ -243,7 +267,7 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let (info, params) = resolve_generator("solve", opts, &["alg", "strategy"])?;
     let seed = get_u(opts, "seed", 1)? as u64;
-    // Two cases route through the engine's run_single: a Lemma 2 strategy
+    // Two cases route through Engine::single: a Lemma 2 strategy
     // override (only ASeparator may deviate from the O(R) quadtree; see
     // core::separator docs), and the adversarial layouts, which have no
     // concrete instance for print_report to analyse.
@@ -258,7 +282,9 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
         } else {
             AlgSpec::from(alg)
         };
-        let run = run_single(&spec, algspec, seed).map_err(|e| e.to_string())?;
+        let run = Engine::default()
+            .single(&spec, algspec, seed)
+            .map_err(|e| e.to_string())?;
         println!(
             "{} on n={}: makespan {:.2}, all awake: {}",
             algspec.label(),
@@ -346,6 +372,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             "out",
             "bench-json",
             "name",
+            "resume",
         ],
     )?;
     let scenarios_text = opts
@@ -417,21 +444,76 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     if flush_every == 0 {
         return Err("--flush-every must be at least 1".to_string());
     }
+    let resume = opts.contains_key("resume");
+    if resume && (opts.get("out").is_none() || !matches!(format, "jsonl" | "csv")) {
+        return Err(
+            "--resume needs --out with --format jsonl or csv (the record-per-line formats \
+             whose completed prefix is resumable)"
+                .to_string(),
+        );
+    }
     plan.validate().map_err(|e| e.to_string())?;
+    let engine = Engine::with_threads(threads);
 
     let started = Instant::now();
     let aggregates = match opts.get("out") {
         // Streaming path: every record goes to the file the moment its
         // job (and every lower-indexed job) finishes, so a 10⁶-robot
         // sweep never holds more than a bounded window of results — and
-        // a crash mid-sweep leaves all completed records on disk. The
-        // bytes written are identical to the buffered path's.
+        // a crash mid-sweep leaves all completed records on disk, with a
+        // FILE.journal sidecar that lets --resume pick up where it
+        // stopped. The bytes written are identical to the buffered
+        // path's.
         Some(path) => {
-            let file = std::fs::File::create(path)
-                .map(std::io::BufWriter::new)
-                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            let out = std::path::Path::new(path);
+            let fingerprint = journal::plan_fingerprint(&plan, format);
+            let (file, first_job, header_present) = if resume {
+                match journal::read_journal(out).map_err(|e| e.to_string())? {
+                    None => {
+                        return Err(format!(
+                            "--resume found no journal at {path}.journal — either the sweep \
+                             completed (nothing to resume) or it never started; rerun without \
+                             --resume"
+                        ))
+                    }
+                    Some(recorded) if recorded != fingerprint => {
+                        return Err(format!(
+                            "--resume plan mismatch: {path}.journal records a different \
+                             plan/format than the one given — resuming would interleave \
+                             records of two different sweeps"
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                let state = journal::resume_point(out, format == "csv")
+                    .map_err(|e| format!("cannot prepare {path} for resume: {e}"))?;
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(out)
+                    .map(std::io::BufWriter::new)
+                    .map_err(|e| format!("cannot open {path}: {e}"))?;
+                eprintln!(
+                    "resuming {path} at job {} of {}",
+                    state.records,
+                    plan.job_count()
+                );
+                (file, state.records, state.header_present)
+            } else {
+                if matches!(format, "jsonl" | "csv") {
+                    journal::write_journal(out, &fingerprint)
+                        .map_err(|e| format!("cannot write {path}.journal: {e}"))?;
+                }
+                let file = std::fs::File::create(path)
+                    .map(std::io::BufWriter::new)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                (file, 0, false)
+            };
             let mut sink = match format {
                 "jsonl" => Some(emit::JobStreamWriter::jsonl(file, flush_every)),
+                "csv" if header_present => {
+                    Some(emit::JobStreamWriter::csv_resumed(file, flush_every))
+                }
                 "csv" => Some(
                     emit::JobStreamWriter::csv(file, flush_every)
                         .map_err(|e| format!("cannot write {path}: {e}"))?,
@@ -441,18 +523,22 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
                 _ => None,
             };
             let mut streaming_agg = agg::StreamingAgg::new();
-            let mut io_err: Option<std::io::Error> = None;
-            freezetag::exp::run_plan_streaming(&plan, threads, |r| {
-                streaming_agg.push(r);
-                if io_err.is_none() {
-                    if let Some(w) = sink.as_mut() {
-                        io_err = w.write(r).err();
-                    }
+            let stream = engine
+                .submit_with(
+                    &plan,
+                    SubmitOptions {
+                        deadline: None,
+                        first_job,
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            for item in stream {
+                let r = item.map_err(|e| e.to_string())?;
+                streaming_agg.push(&r);
+                if let Some(w) = sink.as_mut() {
+                    w.write(&r)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
                 }
-            })
-            .map_err(|e| e.to_string())?;
-            if let Some(e) = io_err {
-                return Err(format!("cannot write {path}: {e}"));
             }
             let job_count = streaming_agg.job_count();
             let aggregates = streaming_agg.finish();
@@ -460,6 +546,10 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
                 Some(w) => {
                     w.finish()
                         .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    // Every record landed: the journal's "incomplete
+                    // prefix" claim no longer holds.
+                    journal::clear_journal(out)
+                        .map_err(|e| format!("cannot remove {path}.journal: {e}"))?;
                 }
                 None => {
                     let doc = emit::aggregates_to_json(&plan, &aggregates);
@@ -476,7 +566,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             aggregates
         }
         None => {
-            let results = run_plan(&plan, threads).map_err(|e| e.to_string())?;
+            let results = engine.run(&plan).map_err(|e| e.to_string())?;
             let aggregates = agg::aggregate(&results);
             let payload = match format {
                 "json" => emit::aggregates_to_json(&plan, &aggregates),
@@ -497,6 +587,46 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_keys(
+        "serve",
+        opts,
+        &["port", "threads", "cache-capacity", "queue-depth"],
+    )?;
+    let port = get_u(opts, "port", 7333)?;
+    let port = u16::try_from(port).map_err(|_| format!("--port {port} out of range"))?;
+    let threads = get_u(
+        opts,
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )?;
+    let cache_capacity = get_u(opts, "cache-capacity", 1024)?;
+    let queue_depth = get_u(opts, "queue-depth", 16)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".to_string());
+    }
+    let config = serve::ServeConfig {
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+        engine: EngineConfig {
+            threads,
+            cache_capacity,
+            ..EngineConfig::default()
+        },
+        queue_depth,
+    };
+    let server = serve::Server::spawn(config).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("dftp serve listening on http://{}", server.addr());
+    println!(
+        "  {threads} worker thread(s), result cache {cache_capacity}, queue depth {queue_depth}"
+    );
+    // The accept and scheduler threads own all the work; this thread only
+    // keeps the process (and the Server guard, whose Drop is the
+    // shutdown path) alive.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn run(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
     match cmd {
         "solve" => cmd_solve(opts),
@@ -505,6 +635,7 @@ fn run(cmd: &str, opts: &HashMap<String, String>) -> Result<(), String> {
         "svg" => cmd_svg(opts),
         "generate" => cmd_generate(opts),
         "sweep" => cmd_sweep(opts),
+        "serve" => cmd_serve(opts),
         other => Err(format!("unknown command '{other}'")),
     }
 }

@@ -45,7 +45,7 @@ pub mod prelude {
     pub use freezetag_core::{
         solve, AGridConfig, ASeparatorConfig, AWaveConfig, Algorithm, RunReport,
     };
-    pub use freezetag_exp::{run_plan, AlgSpec, ExperimentPlan, ScenarioSpec};
+    pub use freezetag_exp::{AlgSpec, Engine, EngineConfig, ExperimentPlan, ScenarioSpec};
     pub use freezetag_geometry::{Point, Rect, Square};
     pub use freezetag_graph::InstanceParams;
     pub use freezetag_instances::{

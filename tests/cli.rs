@@ -748,3 +748,105 @@ fn sweep_compressed_profile_matches_full_aggregates_on_the_cli() {
         "compressed aggregates must match the full profile"
     );
 }
+
+#[test]
+fn sweep_resume_completes_an_interrupted_out_file_byte_identically() {
+    use freezetag::core::Algorithm;
+    use freezetag::exp::{journal, ExperimentPlan, ScenarioSpec};
+    let strip_wall = |text: &str| -> String {
+        text.lines()
+            .map(|l| match l.find(",\"wall_time_s\":") {
+                Some(i) => format!("{}}}", &l[..i]),
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let dir = std::env::temp_dir().join(format!("dftp_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let reference = dir.join("ref.jsonl");
+    let partial = dir.join("part.jsonl");
+    let args = |out: &str| {
+        vec![
+            "sweep".to_string(),
+            "--scenarios".into(),
+            "disk:n=15:radius=5".into(),
+            "--algs".into(),
+            "grid,wave".into(),
+            "--seeds".into(),
+            "2".into(),
+            "--plan-seed".into(),
+            "5".into(),
+            "--format".into(),
+            "jsonl".into(),
+            "--out".into(),
+            out.to_string(),
+        ]
+    };
+    let full = dftp(
+        &args(reference.to_str().unwrap())
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(full.status.success(), "stderr: {}", stderr(&full));
+    assert!(
+        !journal::journal_path(&reference).exists(),
+        "completed sweep must clear its journal"
+    );
+    let complete = std::fs::read_to_string(&reference).expect("reference file");
+    assert_eq!(complete.lines().count(), 4);
+
+    // Fabricate the on-disk state an interruption leaves: two complete
+    // records, a torn third, and the journal still standing.
+    let mut torn: String = complete.lines().take(2).map(|l| format!("{l}\n")).collect();
+    torn.push_str("{\"job\":2,\"scen");
+    std::fs::write(&partial, torn).expect("write partial");
+    let plan = ExperimentPlan::new("sweep")
+        .scenario(ScenarioSpec::parse("disk:n=15:radius=5").expect("spec"))
+        .algorithm(Algorithm::Grid)
+        .algorithm(Algorithm::Wave)
+        .seeds(2)
+        .plan_seed(5);
+    journal::write_journal(&partial, &journal::plan_fingerprint(&plan, "jsonl"))
+        .expect("write journal");
+
+    let mut resume_args = args(partial.to_str().unwrap());
+    resume_args.push("--resume".into());
+    let resumed = dftp(&resume_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(resumed.status.success(), "stderr: {}", stderr(&resumed));
+    assert!(
+        stderr(&resumed).contains("resuming"),
+        "stderr: {}",
+        stderr(&resumed)
+    );
+    let text = std::fs::read_to_string(&partial).expect("resumed file");
+    assert_eq!(
+        strip_wall(&text),
+        strip_wall(&complete),
+        "resumed file must hold the exact bytes of an unbroken run"
+    );
+    assert!(
+        !journal::journal_path(&partial).exists(),
+        "resumed completion must clear the journal"
+    );
+
+    // Error paths: --resume without a journal, and against a journal
+    // recording a different plan.
+    let rerun = dftp(&resume_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!rerun.status.success());
+    assert!(stderr(&rerun).contains("no journal"), "{}", stderr(&rerun));
+    journal::write_journal(
+        &partial,
+        &journal::plan_fingerprint(&plan.clone().seeds(3), "jsonl"),
+    )
+    .expect("write journal");
+    let mismatched = dftp(&resume_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!mismatched.status.success());
+    assert!(
+        stderr(&mismatched).contains("mismatch"),
+        "{}",
+        stderr(&mismatched)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -167,13 +167,16 @@ proptest! {
 /// harness measures the 10⁵ case).
 #[test]
 fn real_wave_run_compresses_well_below_the_flat_store() {
-    use freezetag::exp::{run_single, run_single_compressed, AlgSpec, ScenarioSpec};
+    use freezetag::exp::{AlgSpec, Engine, ScenarioSpec};
     let spec = ScenarioSpec::new("wave_100k")
         .with("n", 2000.0)
         .with("radius", 20.0);
     let alg = AlgSpec::from(Algorithm::Wave);
-    let full = run_single(&spec, alg, 7).expect("full run");
-    let comp = run_single_compressed(&spec, alg, 7).expect("compressed run");
+    let engine = Engine::default();
+    let full = engine.single(&spec, alg, 7).expect("full run");
+    let comp = engine
+        .single_compressed(&spec, alg, 7)
+        .expect("compressed run");
     assert!(comp.all_awake);
     assert_eq!(
         full.report.makespan.to_bits(),

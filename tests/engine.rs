@@ -3,7 +3,7 @@
 //! machine-readable emission formats.
 
 use freezetag::core::Algorithm;
-use freezetag::exp::{agg, emit, run_plan, ExperimentPlan, ScenarioSpec};
+use freezetag::exp::{agg, emit, Engine, ExperimentPlan, ScenarioSpec};
 
 fn reference_plan() -> ExperimentPlan {
     ExperimentPlan::new("engine-determinism")
@@ -26,8 +26,12 @@ fn reference_plan() -> ExperimentPlan {
 #[test]
 fn same_plan_seed_gives_identical_results_for_any_thread_count() {
     let plan = reference_plan();
-    let one = run_plan(&plan, 1).expect("single-threaded run");
-    let four = run_plan(&plan, 4).expect("multi-threaded run");
+    let one = Engine::with_threads(1)
+        .run(&plan)
+        .expect("single-threaded run");
+    let four = Engine::with_threads(4)
+        .run(&plan)
+        .expect("multi-threaded run");
     assert_eq!(one.len(), 12);
     for (a, b) in one.iter().zip(&four) {
         let mut b = b.clone();
@@ -46,8 +50,8 @@ fn same_plan_seed_gives_identical_results_for_any_thread_count() {
 fn different_plan_seeds_change_seeded_scenarios() {
     let base = reference_plan();
     let reseeded = reference_plan().plan_seed(100);
-    let a = run_plan(&base, 2).expect("plan runs");
-    let b = run_plan(&reseeded, 2).expect("plan runs");
+    let a = Engine::with_threads(2).run(&base).expect("plan runs");
+    let b = Engine::with_threads(2).run(&reseeded).expect("plan runs");
     assert!(
         a.iter().zip(&b).any(|(x, y)| x.seed != y.seed),
         "plan seed must flow into job seeds"
@@ -61,7 +65,7 @@ fn different_plan_seeds_change_seeded_scenarios() {
 #[test]
 fn algorithms_within_a_cell_share_their_instance() {
     let plan = reference_plan();
-    let results = run_plan(&plan, 2).expect("plan runs");
+    let results = Engine::with_threads(2).run(&plan).expect("plan runs");
     // Jobs 0..3 are ASeparator on disk seeds 0..3; jobs 3..6 AGrid, same
     // scenario and repetitions: the paired design means identical seeds
     // and hence identical instances (same n, ell, rho, xi).
@@ -78,7 +82,7 @@ fn algorithms_within_a_cell_share_their_instance() {
 #[test]
 fn bench_results_document_has_the_promised_schema() {
     let plan = reference_plan();
-    let results = run_plan(&plan, 2).expect("plan runs");
+    let results = Engine::with_threads(2).run(&plan).expect("plan runs");
     let aggregates = agg::aggregate(&results);
     assert_eq!(aggregates.len(), 4, "2 scenarios × 2 algorithms");
     let doc = emit::bench_results_json(&plan, &aggregates, 2, 1.25);
@@ -106,9 +110,13 @@ fn stats_profile_is_deterministic_and_matches_full_aggregates() {
     use freezetag::exp::Profile;
     let full = reference_plan();
     let stats = reference_plan().profile(Profile::Stats);
-    let a = run_plan(&full, 2).expect("full plan runs");
-    let b1 = run_plan(&stats, 1).expect("stats plan runs");
-    let b4 = run_plan(&stats, 4).expect("stats plan runs");
+    let a = Engine::with_threads(2).run(&full).expect("full plan runs");
+    let b1 = Engine::with_threads(1)
+        .run(&stats)
+        .expect("stats plan runs");
+    let b4 = Engine::with_threads(4)
+        .run(&stats)
+        .expect("stats plan runs");
     // Stats output is byte-identical across thread counts.
     for (x, y) in b1.iter().zip(&b4) {
         let mut y = y.clone();
@@ -148,7 +156,7 @@ fn inadmissible_preset_tuple_is_a_clean_error_not_a_panic() {
         )
         .algorithm(Algorithm::Grid)
         .profile(Profile::Stats);
-    let err = run_plan(&plan, 1).unwrap_err();
+    let err = Engine::with_threads(1).run(&plan).unwrap_err();
     assert!(
         err.to_string().contains("inadmissible"),
         "unexpected error: {err}"
@@ -162,7 +170,7 @@ fn stats_profile_rejects_adversarial_scenarios_up_front() {
         .scenario(ScenarioSpec::new("theorem2"))
         .algorithm(Algorithm::Separator)
         .profile(Profile::Stats);
-    let err = run_plan(&plan, 1).unwrap_err();
+    let err = Engine::with_threads(1).run(&plan).unwrap_err();
     assert!(
         err.to_string().contains("full profile"),
         "unexpected error: {err}"

@@ -10,12 +10,22 @@
 //! output bit.
 
 use freezetag::core::{run_algorithm, Algorithm};
-use freezetag::exp::{run_single_stats_with, run_single_with, AlgSpec, ScenarioSpec};
+use freezetag::exp::{AlgSpec, Engine, EngineConfig, ScenarioSpec};
 use freezetag::instances::registry;
 use freezetag::sim::{
     ConcreteWorld, ParPool, Recorder, RobotId, Schedule, Sim, StatsRecorder, WorldView,
 };
 use proptest::prelude::*;
+
+/// An engine whose single-run entry points execute with the given
+/// intra-job pool width — the test-facing face of `--sim-threads`.
+fn sim_engine(sim_threads: usize) -> Engine {
+    Engine::new(EngineConfig {
+        threads: 1,
+        sim_threads,
+        cache_capacity: 0,
+    })
+}
 
 /// Bitwise schedule comparison: wake log, aggregates, and per-robot wake
 /// time / travel / final state.
@@ -185,8 +195,8 @@ proptest! {
             .with("rho", 8.0)
             .with("n", n as f64);
         let alg = AlgSpec::from(Algorithm::Separator);
-        let seq = run_single_with(&spec, alg, 1, ParPool::sequential()).expect("runs");
-        let par = run_single_with(&spec, alg, 1, ParPool::new(threads)).expect("runs");
+        let seq = sim_engine(1).single(&spec, alg, 1).expect("runs");
+        let par = sim_engine(threads).single(&spec, alg, 1).expect("runs");
         prop_assert_eq!(seq.report.makespan.to_bits(), par.report.makespan.to_bits());
         prop_assert_eq!(seq.report.looks, par.report.looks);
         prop_assert_eq!(&seq.positions, &par.positions);
@@ -204,9 +214,11 @@ fn scale_family_stats_are_bitwise_identical_across_pools() {
         .with("n", 20_000.0)
         .with("radius", 60.0);
     let alg = AlgSpec::from(Algorithm::Grid);
-    let seq = run_single_stats_with(&spec, alg, 42, ParPool::sequential()).expect("runs");
+    let seq = sim_engine(1).single_stats(&spec, alg, 42).expect("runs");
     for threads in [2, 4] {
-        let par = run_single_stats_with(&spec, alg, 42, ParPool::new(threads)).expect("runs");
+        let par = sim_engine(threads)
+            .single_stats(&spec, alg, 42)
+            .expect("runs");
         assert_eq!(seq.n, par.n);
         assert!(par.all_awake);
         assert_eq!(
