@@ -1,0 +1,150 @@
+//! Criterion benchmarks of the anytime wake-tree optimizer.
+//!
+//! Two questions, both on uniform-disk instances:
+//!
+//! * **Move-evaluation throughput** — delta evaluation (`O(depth)`
+//!   bubble-up of cached subtree heights) against a full `O(n)`
+//!   recompute after every move, at n = 1k and n = 10k. The whole point
+//!   of the cache is this gap; a startup assert pins it at ≥ 10× for
+//!   n = 10k, so a regression fails the bench run rather than silently
+//!   reshaping the curves.
+//! * **Best-makespan-vs-iterations** — full `anytime_wake_tree` runs at
+//!   n = 1k and n = 10k under growing round budgets, to see where the
+//!   anytime curve flattens.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use freezetag_central::{anytime_wake_tree, quadtree_wake_tree, AnytimeConfig, OptTree};
+use freezetag_geometry::Point;
+use freezetag_instances::generators::uniform_disk;
+use freezetag_sim::{CancelToken, ParPool, RobotId};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn items_of(n: usize, radius: f64, seed: u64) -> Vec<(RobotId, Point)> {
+    let inst = uniform_disk(n, radius, seed);
+    inst.positions()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (RobotId::sleeper(i), p))
+        .collect()
+}
+
+/// One apply+revert of a deterministic reassign/swap mix; `full` pays an
+/// `O(n)` oracle recompute after each apply (what every move would cost
+/// without the cache).
+fn run_moves(tree: &mut OptTree, moves: usize, full: bool) -> f64 {
+    let len = tree.len();
+    let mut acc = 0.0;
+    for i in 0..moves {
+        // Deterministic pseudo-moves: cheap LCG-style index mixing, the
+        // same sequence for the delta and full variants.
+        let a = 1 + (i.wrapping_mul(2654435761) >> 7) % (len - 1);
+        let b = 1 + (i.wrapping_mul(40503) >> 3) % (len - 1);
+        if i % 2 == 0 {
+            let parent = tree.parent(a).expect("non-root");
+            if tree.reassign(a, b % len) {
+                acc += if full {
+                    tree.oracle_makespan()
+                } else {
+                    tree.makespan()
+                };
+                assert!(tree.reassign(a, parent), "revert must apply");
+            }
+        } else if tree.swap(a, b) {
+            acc += if full {
+                tree.oracle_makespan()
+            } else {
+                tree.makespan()
+            };
+            assert!(tree.swap(a, b), "revert must apply");
+        }
+    }
+    acc
+}
+
+/// Wall-clock moves/s of one variant, outside criterion: used only for
+/// the ≥ 10× self-check so the acceptance criterion is enforced on every
+/// bench run, not eyeballed from two reports.
+fn throughput(tree: &OptTree, moves: usize, full: bool) -> f64 {
+    let mut t = tree.clone();
+    let start = Instant::now();
+    black_box(run_moves(&mut t, moves, full));
+    moves as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_move_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_move_eval");
+    g.sample_size(10);
+    for (n, moves) in [(1_000, 4_000), (10_000, 2_000)] {
+        let tree = OptTree::from_wake_tree(&quadtree_wake_tree(
+            Point::ORIGIN,
+            &items_of(n, (n as f64).sqrt() * 4.0, 7),
+        ));
+        g.bench_function(format!("delta_n{n}"), |b| {
+            let mut t = tree.clone();
+            b.iter(|| black_box(run_moves(&mut t, moves, false)));
+        });
+        g.bench_function(format!("full_n{n}"), |b| {
+            let mut t = tree.clone();
+            b.iter(|| black_box(run_moves(&mut t, moves, true)));
+        });
+        if n == 10_000 {
+            let delta = throughput(&tree, moves, false);
+            let full = throughput(&tree, moves, true);
+            let ratio = delta / full;
+            assert!(
+                ratio >= 10.0,
+                "delta evaluation must be >= 10x full recompute at n=10k, got {ratio:.1}x \
+                 ({delta:.0} vs {full:.0} moves/s)"
+            );
+            println!(
+                "move-eval throughput n=10k: delta {delta:.0}/s, full {full:.0}/s ({ratio:.1}x)"
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_anytime_curve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_anytime");
+    g.sample_size(10);
+    let mut curves = Vec::new();
+    for n in [1_000usize, 10_000] {
+        let items = items_of(n, (n as f64).sqrt() * 4.0, 3);
+        let pool = ParPool::new(4);
+        for rounds in [1usize, 4, 16] {
+            let config = AnytimeConfig {
+                rounds,
+                strike_limit: rounds, // let every budget run its full length
+                // Skip the O(n³) greedy seed: this group times the search
+                // itself, and at n = 1000 greedy construction would be
+                // ~95% of every iteration.
+                greedy_init_max_n: 0,
+                ..AnytimeConfig::default()
+            };
+            let run = || {
+                anytime_wake_tree(
+                    Point::ORIGIN,
+                    &items,
+                    &config,
+                    11,
+                    &pool,
+                    &CancelToken::never(),
+                )
+            };
+            g.bench_function(format!("n{n}_rounds{rounds}"), |b| {
+                b.iter(|| black_box(run().makespan));
+            });
+            let report = run();
+            curves.push((n, rounds, report.initial_makespan, report.makespan));
+        }
+    }
+    g.finish();
+    println!("anytime curve (best makespan vs round budget):");
+    for (n, rounds, initial, best) in curves {
+        println!("  n={n:<6} rounds={rounds:<3} initial {initial:.4} -> best {best:.4}");
+    }
+}
+
+criterion_group!(benches, bench_move_evaluation, bench_anytime_curve);
+criterion_main!(benches);

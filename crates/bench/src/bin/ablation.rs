@@ -44,7 +44,11 @@ fn central_strategies() {
     for strategy in STRATEGIES {
         plan = plan.algorithm(AlgSpec::Central(strategy));
     }
+    // The anytime optimizer rides the same plan: it starts from the
+    // greedy/median/quadtree trees and improves them by local search, so
+    // its column lower-bounds what any constructive strategy can reach.
     let plan = plan
+        .algorithm(AlgSpec::CentralAnytime)
         .scenario(
             ScenarioSpec::new("uniform_disk")
                 .with("n", 150.0)
@@ -74,10 +78,21 @@ fn central_strategies() {
         "greedy",
         "median",
         "quadtree(ours)",
+        "anytime",
     ]);
-    for cell in results.chunks(STRATEGIES.len()) {
+    for cell in results.chunks(STRATEGIES.len() + 1) {
         let mut cells = vec![cell[0].scenario.clone(), cell[0].n.to_string()];
         cells.extend(cell.iter().map(|r| f1(r.makespan)));
+        let anytime = cell.last().expect("anytime column").makespan;
+        let best_constructive = cell[..STRATEGIES.len()]
+            .iter()
+            .map(|r| r.makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            anytime <= best_constructive + 1e-9,
+            "{}: anytime {anytime} worse than best constructive {best_constructive}",
+            cell[0].scenario
+        );
         row(&cells);
     }
 
@@ -108,7 +123,10 @@ fn central_strategies() {
     }
     println!("\nconclusion: the midline quadtree is the only variant that is");
     println!("simultaneously O(R) on skewed inputs and close to optimal on");
-    println!("small ones — hence our Lemma 2 substitute (DESIGN.md §5).");
+    println!("small ones — hence our Lemma 2 substitute (DESIGN.md §5). The");
+    println!("anytime optimizer tightens every workload's best constructive");
+    println!("tree further — it is the ratio-table baseline, not a Lemma 2");
+    println!("candidate (robots cannot run a centralized search mid-wake).");
 }
 
 /// The same ablation *inside* the full distributed algorithm: `ASeparator`

@@ -37,9 +37,15 @@ fn main() {
 }
 
 /// Table 1, row 1: `ASeparator` makespan `O(ρ + ℓ² log(ρ/ℓ))`.
+///
+/// Honors `--profile full|stats|compressed` (default full): the bounds
+/// here need only the per-job `(ℓ, ρ)` and the worst-robot energy, all of
+/// which every recorder profile reports.
 fn section_aseparator() {
     println!("\n## Table 1, row 1 — ASeparator, makespan O(ρ + ℓ² log(ρ/ℓ))\n");
-    let mut plan = ExperimentPlan::new("table1-aseparator").algorithm(Algorithm::Separator);
+    let mut plan = ExperimentPlan::new("table1-aseparator")
+        .algorithm(Algorithm::Separator)
+        .profile(profile_arg(Profile::Full));
     for &ell in &[1.0, 2.0, 4.0] {
         for &ratio in &[8.0, 16.0, 32.0] {
             plan = plan.scenario(lattice_scenario(ell, ell * ratio));
@@ -68,6 +74,9 @@ fn section_aseparator() {
 /// (energy Θ(ℓ² log ℓ), makespan O(ξ + ℓ² log(ξ/ℓ))).
 fn section_energy_constrained() {
     println!("\n## Table 1, rows 3–4 — AGrid vs AWave on serpentine corridors\n");
+    // Pinned to the full profile regardless of --profile: the bound
+    // columns divide by the measured ξ_ℓ, which only the full recorder
+    // reports (stats and compressed return xi_ell = None).
     let mut plan = ExperimentPlan::new("table1-energy-constrained")
         .algorithm(Algorithm::Grid)
         .algorithm(Algorithm::Wave);
@@ -123,6 +132,10 @@ fn section_energy_constrained() {
 /// across corridors of growing length. `ASeparator`'s energy grows with
 /// the instance (it has no budget in terms of ℓ alone), the wave
 /// algorithms' stay flat — the paper's energy hierarchy.
+///
+/// Honors `--profile full|stats|compressed` (default full): the matrix
+/// compares worst-robot energies against closed-form budgets, so no
+/// full-schedule field is needed.
 fn section_energy_feasibility() {
     println!("\n## Table 1, energy column — per-robot budget feasibility\n");
     let ell = 2.0;
@@ -133,7 +146,8 @@ fn section_energy_feasibility() {
     let mut plan = ExperimentPlan::new("table1-energy-feasibility")
         .algorithm(Algorithm::Grid)
         .algorithm(Algorithm::Wave)
-        .algorithm(Algorithm::Separator);
+        .algorithm(Algorithm::Separator)
+        .profile(profile_arg(Profile::Full));
     for &xi in &corridors {
         plan = plan.scenario(snake_scenario(ell, xi));
     }

@@ -11,6 +11,9 @@
 //!   `O(R)` for points in a region of diameter `R` (our stand-in for the
 //!   5R algorithm of \[BCGH24\], see DESIGN.md);
 //! * [`greedy_wake_tree`] — the earliest-finish greedy baseline;
+//! * [`anytime_wake_tree`] — a parallel anytime local-search optimizer
+//!   over wake trees with `O(depth)` delta evaluation, the strong
+//!   centralized baseline behind the competitive-ratio tables;
 //! * [`optimal_makespan`] — exhaustive branch-and-bound for tiny inputs,
 //!   used to sanity-check the approximation quality of the strategies;
 //! * [`realize`] — Algorithm 1: executes a wake-up tree on a
@@ -34,6 +37,7 @@
 //! assert!(tree.makespan() > 0.0);
 //! ```
 
+pub mod anytime;
 mod greedy;
 pub mod online;
 mod optimal;
@@ -43,6 +47,7 @@ mod strategy;
 mod tree;
 mod variants;
 
+pub use anytime::{anytime_wake_tree, AnytimeConfig, AnytimeReport, OptTree};
 pub use greedy::greedy_wake_tree;
 pub use optimal::optimal_makespan;
 pub use propagate::realize;

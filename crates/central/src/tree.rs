@@ -135,6 +135,32 @@ impl WakeTree {
         sum
     }
 
+    /// A structural fingerprint of the tree: FNV-1a over every node's
+    /// robot index, exact position bits, and child list, in node order.
+    /// Two trees digest equal iff they are byte-identical — the cheap
+    /// cross-run comparator behind the `--workers 1/2/4` determinism
+    /// checks in CI and `dftp solve` output.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        for node in &self.nodes {
+            eat(node.robot.index() as u64);
+            eat(node.pos.x.to_bits());
+            eat(node.pos.y.to_bits());
+            eat(node.children.len() as u64);
+            for &c in &node.children {
+                eat(c as u64);
+            }
+        }
+        h
+    }
+
     /// Checks structural sanity: every non-root robot appears exactly once
     /// and is not the source. Returns the sorted list of woken robots.
     ///
@@ -180,6 +206,19 @@ mod tests {
         // Paths: 1+2+0.5 = 3.5 vs 1+3 = 4.
         assert_eq!(t.makespan(), 4.0);
         assert_eq!(t.total_length(), 1.0 + 2.0 + 3.0 + 0.5);
+    }
+
+    #[test]
+    fn digest_separates_distinct_trees() {
+        let mut a = WakeTree::new(Point::ORIGIN);
+        let r = a.add_child(WakeTree::ROOT, RobotId::sleeper(0), Point::new(1.0, 0.0));
+        a.add_child(r, RobotId::sleeper(1), Point::new(2.0, 0.0));
+        let same = a.clone();
+        assert_eq!(a.digest(), same.digest());
+        let mut b = WakeTree::new(Point::ORIGIN);
+        let r = b.add_child(WakeTree::ROOT, RobotId::sleeper(1), Point::new(1.0, 0.0));
+        b.add_child(r, RobotId::sleeper(0), Point::new(2.0, 0.0));
+        assert_ne!(a.digest(), b.digest(), "robot order must change the digest");
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub enum AlgSpec {
     },
     /// A centralized wake tree built directly on the instance positions.
     Central(WakeStrategy),
+    /// The parallel anytime local-search optimizer
+    /// ([`freezetag_central::anytime_wake_tree`]) at its default
+    /// iteration budget — deterministic, and the strongest centralized
+    /// baseline for the ratio tables.
+    CentralAnytime,
     /// The exact optimal makespan (branch and bound; n ≲ 10).
     CentralOptimal,
 }
@@ -125,13 +130,15 @@ impl AlgSpec {
                 strategy: Some(s),
             } => format!("{algorithm}[{s}]"),
             AlgSpec::Central(s) => format!("central[{s}]"),
+            AlgSpec::CentralAnytime => "central[anytime]".to_string(),
             AlgSpec::CentralOptimal => "central[optimal]".to_string(),
         }
     }
 
     /// Parses the CLI syntax: `separator`, `grid`, `wave`,
     /// `separator:greedy` (strategy override), `central:quadtree` /
-    /// `central:greedy` / `central:median` / `central:chain`, `optimal`.
+    /// `central:greedy` / `central:median` / `central:chain`,
+    /// `central-anytime` (alias `central:anytime`), `optimal`.
     ///
     /// # Errors
     ///
@@ -158,11 +165,12 @@ impl AlgSpec {
             ("separator", Some(t)) => Ok(AlgSpec::separator_with(strategy(t)?)),
             ("grid", None) => Ok(Algorithm::Grid.into()),
             ("wave", None) => Ok(Algorithm::Wave.into()),
+            ("central-anytime", None) | ("central", Some("anytime")) => Ok(AlgSpec::CentralAnytime),
             ("central", Some(t)) => Ok(AlgSpec::Central(strategy(t)?)),
             ("optimal", None) => Ok(AlgSpec::CentralOptimal),
             _ => Err(ExpError::InvalidPlan(format!(
                 "unknown algorithm spec '{text}' \
-                 (separator[:STRATEGY]|grid|wave|central:STRATEGY|optimal)"
+                 (separator[:STRATEGY]|grid|wave|central:STRATEGY|central-anytime|optimal)"
             ))),
         }
     }
@@ -375,11 +383,12 @@ impl ExperimentPlan {
             let info = registry::validate(&spec.generator, &spec.params)
                 .map_err(|e| ExpError::Registry(format!("scenario '{}': {e}", spec.name)))?;
             if info.adversarial {
-                if let Some(alg) = self
-                    .algorithms
-                    .iter()
-                    .find(|a| matches!(a, AlgSpec::Central(_) | AlgSpec::CentralOptimal))
-                {
+                if let Some(alg) = self.algorithms.iter().find(|a| {
+                    matches!(
+                        a,
+                        AlgSpec::Central(_) | AlgSpec::CentralAnytime | AlgSpec::CentralOptimal
+                    )
+                }) {
                     return Err(ExpError::InvalidPlan(format!(
                         "scenario '{}' is adversarial but {} needs known positions",
                         spec.name,
@@ -483,6 +492,15 @@ mod tests {
             AlgSpec::Central(WakeStrategy::MedianSplit)
         );
         assert_eq!(AlgSpec::parse("optimal").unwrap(), AlgSpec::CentralOptimal);
+        assert_eq!(
+            AlgSpec::parse("central-anytime").unwrap(),
+            AlgSpec::CentralAnytime
+        );
+        assert_eq!(
+            AlgSpec::parse("central:anytime").unwrap(),
+            AlgSpec::CentralAnytime
+        );
+        assert_eq!(AlgSpec::CentralAnytime.label(), "central[anytime]");
         assert!(AlgSpec::parse("grid:greedy").is_err());
         assert!(AlgSpec::parse("teleport").is_err());
         assert_eq!(
@@ -558,6 +576,11 @@ mod tests {
         let incompatible = ExperimentPlan::new("t")
             .scenario(ScenarioSpec::new("theorem2"))
             .algorithm(AlgSpec::CentralOptimal);
+        let err = incompatible.validate().unwrap_err();
+        assert!(err.to_string().contains("adversarial"), "{err}");
+        let incompatible = ExperimentPlan::new("t")
+            .scenario(ScenarioSpec::new("theorem2"))
+            .algorithm(AlgSpec::CentralAnytime);
         let err = incompatible.validate().unwrap_err();
         assert!(err.to_string().contains("adversarial"), "{err}");
     }

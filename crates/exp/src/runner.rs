@@ -3,7 +3,7 @@
 //!
 //! This module owns the *single-job* layer: the result types
 //! ([`JobResult`], [`SingleRun`], [`StatsRun`], [`CompressedRun`]), the
-//! worker-resident [`JobContext`] and the core-budget split
+//! worker-resident `JobContext` and the core-budget split
 //! ([`inter_job_workers`]). Multi-job orchestration — worker pools,
 //! streaming windows, the result cache, cancellation — lives in the
 //! [`Engine`](crate::Engine) facade; the free functions kept here
@@ -12,7 +12,7 @@
 
 use crate::plan::{AlgSpec, ExperimentPlan, JobSpec, Profile, ScenarioSpec};
 use crate::ExpError;
-use freezetag_central::{optimal_makespan, WakeStrategy};
+use freezetag_central::{anytime_wake_tree, optimal_makespan, AnytimeConfig, WakeStrategy};
 use freezetag_core::{
     a_grid, a_separator_in, a_wave_in, AGridConfig, ASeparatorConfig, AWaveConfig, AlgScratch,
     Algorithm, RunReport,
@@ -666,6 +666,8 @@ fn central_job(
     spec: &ScenarioSpec,
     alg: AlgSpec,
     seed: u64,
+    pool: &ParPool,
+    cancel: &CancelToken,
 ) -> Result<(usize, f64, f64, f64, f64), ExpError> {
     let inst = registry::build_instance(&spec.generator, &spec.params, seed)?;
     let items: Vec<(RobotId, Point)> = inst
@@ -678,6 +680,22 @@ fn central_job(
         AlgSpec::Central(strategy) => {
             let tree = strategy.build(inst.source(), &items);
             (tree.makespan(), tree.total_length())
+        }
+        AlgSpec::CentralAnytime => {
+            // Default (fixed-iteration) budget: the result is a pure
+            // function of (instance, seed) at any pool width — required
+            // by the Engine's thread-count-free cache key. The job seed
+            // drives the search streams, so repetitions explore
+            // independently while staying paired on the instance.
+            let report = anytime_wake_tree(
+                inst.source(),
+                &items,
+                &AnytimeConfig::default(),
+                seed,
+                pool,
+                cancel,
+            );
+            (report.tree.makespan(), report.tree.total_length())
         }
         AlgSpec::CentralOptimal => {
             if inst.n() > 10 {
@@ -780,8 +798,9 @@ pub(crate) fn execute_job_ctx(
                 wall_time_s: 0.0,
             }
         }
-        AlgSpec::Central(_) | AlgSpec::CentralOptimal => {
-            let (n, ell, rho, makespan, total_energy) = central_job(spec, job.algorithm, job.seed)?;
+        AlgSpec::Central(_) | AlgSpec::CentralAnytime | AlgSpec::CentralOptimal => {
+            let (n, ell, rho, makespan, total_energy) =
+                central_job(spec, job.algorithm, job.seed, &pool, &ctx.cancel)?;
             JobResult {
                 job: job.index,
                 scenario: spec.name.clone(),

@@ -389,7 +389,7 @@ pub struct RequestHead {
 /// Parses an HTTP/1.1 request head — the request line and headers, up to
 /// (not including) the blank line. Tolerates `\r\n` or bare `\n` line
 /// endings and any header case; rejects malformed request lines, non-HTTP
-/// versions, bodies over [`MAX_BODY_BYTES`] and unparsable
+/// versions, bodies over `MAX_BODY_BYTES` and unparsable
 /// `Content-Length` values. Never panics on any input (property-tested).
 ///
 /// # Errors

@@ -51,6 +51,8 @@ fn usage() -> String {
         "usage:
   dftp solve    --alg <separator|grid|wave> --gen <GEN> [GEN OPTIONS]
                 [--strategy <quadtree|greedy|median|chain>]  (separator only)
+                [--algorithm <central:STRATEGY|central-anytime|optimal>]
+                [--time-budget <SECS>] [--workers <N>]  (central-anytime only)
   dftp compare  --gen <GEN> [GEN OPTIONS]
   dftp params   --gen <GEN> [GEN OPTIONS]
   dftp svg      --alg <ALG> --gen <GEN> [GEN OPTIONS] --out <FILE>
@@ -66,7 +68,13 @@ fn usage() -> String {
 
 sweep scenario spec:  GEN[:key=value...]          e.g. disk:n=40:radius=8
 sweep algorithms:     separator[:STRATEGY] | grid | wave |
-                      central:STRATEGY | optimal  (default: separator,grid,wave)
+                      central:STRATEGY | central-anytime | optimal
+                      (default: separator,grid,wave)
+solve --algorithm:    run a centralized baseline on the generated instance;
+                      central-anytime is the parallel anytime optimizer —
+                      --workers sets execution threads only (output is
+                      byte-identical for any count) and --time-budget caps
+                      wall clock, returning the best tree found so far
 sweep --algorithms:   keep only the named algorithms of the plan's axis —
                       re-run one algorithm's cells without editing the plan
                       (names are validated; an empty intersection errors)
@@ -257,6 +265,116 @@ fn print_report(inst: &Instance, alg: Algorithm) -> Result<(), String> {
     Ok(())
 }
 
+/// `dftp solve --algorithm ...`: the centralized baselines, which build a
+/// wake tree directly on the generated instance instead of driving the
+/// simulator. Prints the tree digest so runs are byte-comparable — the
+/// CI determinism leg diffs this output across `--workers 1/2/4`.
+fn cmd_solve_central(
+    opts: &HashMap<String, String>,
+    spec: AlgSpec,
+    info: &'static GeneratorInfo,
+    params: ParamMap,
+    seed: u64,
+) -> Result<(), String> {
+    use freezetag::central::{anytime_wake_tree, optimal_makespan, AnytimeConfig};
+    use freezetag::sim::{CancelToken, ParPool, RobotId};
+    if info.adversarial {
+        return Err(format!(
+            "{} needs known positions; the adversarial generator '{}' has none",
+            spec.label(),
+            info.name
+        ));
+    }
+    if spec != AlgSpec::CentralAnytime {
+        for key in ["time-budget", "workers"] {
+            if opts.contains_key(key) {
+                return Err(format!(
+                    "--{key} only applies to --algorithm central-anytime, not {}",
+                    spec.label()
+                ));
+            }
+        }
+    }
+    let inst = registry::build_instance(info.name, &params, seed).map_err(|e| e.to_string())?;
+    let items: Vec<(RobotId, freezetag::geometry::Point)> = inst
+        .positions()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (RobotId::sleeper(i), p))
+        .collect();
+    match spec {
+        AlgSpec::Central(strategy) => {
+            let tree = strategy.build(inst.source(), &items);
+            println!(
+                "{} on n={}: makespan {:.4}, total length {:.4}",
+                spec.label(),
+                inst.n(),
+                tree.makespan(),
+                tree.total_length()
+            );
+            println!("  tree digest {:#018x}", tree.digest());
+        }
+        AlgSpec::CentralAnytime => {
+            let workers = get_u(opts, "workers", 1)?;
+            if workers == 0 {
+                return Err("--workers must be at least 1".to_string());
+            }
+            let time_budget = match opts.get("time-budget") {
+                None => None,
+                Some(raw) => {
+                    let secs: f64 = raw
+                        .parse()
+                        .map_err(|_| "--time-budget expects seconds (a number)".to_string())?;
+                    if secs <= 0.0 || !secs.is_finite() {
+                        return Err(format!("--time-budget must be positive, got {raw}"));
+                    }
+                    Some(std::time::Duration::from_secs_f64(secs))
+                }
+            };
+            let config = AnytimeConfig {
+                time_budget,
+                ..AnytimeConfig::default()
+            };
+            let report = anytime_wake_tree(
+                inst.source(),
+                &items,
+                &config,
+                seed,
+                &ParPool::new(workers),
+                &CancelToken::never(),
+            );
+            println!(
+                "{} on n={}: makespan {:.4} (initial {:.4}), total length {:.4}",
+                spec.label(),
+                inst.n(),
+                report.tree.makespan(),
+                report.initial_makespan,
+                report.tree.total_length()
+            );
+            // Time-budgeted runs stop at a wall-clock-dependent round, so
+            // the counters below (and possibly the tree) are only
+            // reproducible under the default fixed iteration budget.
+            println!(
+                "  rounds {}, moves {} tried / {} accepted",
+                report.rounds_run, report.moves_tried, report.moves_accepted
+            );
+            println!("  tree digest {:#018x}", report.tree.digest());
+        }
+        AlgSpec::CentralOptimal => {
+            if inst.n() > 10 {
+                return Err(format!(
+                    "--algorithm optimal is branch-and-bound; n={} > 10",
+                    inst.n()
+                ));
+            }
+            let m = optimal_makespan(inst.source(), inst.positions());
+            println!("{} on n={}: makespan {:.4}", spec.label(), inst.n(), m);
+        }
+        AlgSpec::Distributed { .. } => unreachable!("routed through --alg"),
+    }
+    Ok(())
+}
+
 fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     let alg = parse_alg(opts)?;
     let strategy = parse_strategy(opts)?;
@@ -265,8 +383,35 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
             "--strategy only applies to --alg separator, not {alg}"
         ));
     }
-    let (info, params) = resolve_generator("solve", opts, &["alg", "strategy"])?;
+    let (info, params) = resolve_generator(
+        "solve",
+        opts,
+        &["alg", "strategy", "algorithm", "time-budget", "workers"],
+    )?;
     let seed = get_u(opts, "seed", 1)? as u64;
+    // --algorithm takes the full sweep-grammar spec and routes the
+    // centralized baselines (wake trees on known positions); the
+    // simulator-driven distributed algorithms keep their --alg spelling.
+    if let Some(text) = opts.get("algorithm") {
+        if opts.contains_key("alg") || opts.contains_key("strategy") {
+            return Err("--algorithm replaces --alg/--strategy; give only one".to_string());
+        }
+        let spec = AlgSpec::parse(text).map_err(|e| e.to_string())?;
+        if let AlgSpec::Distributed { .. } = spec {
+            return Err(format!(
+                "'{text}' is a distributed algorithm — use --alg {text} (with --strategy \
+                 for a separator override)"
+            ));
+        }
+        return cmd_solve_central(opts, spec, info, params, seed);
+    }
+    for key in ["time-budget", "workers"] {
+        if opts.contains_key(key) {
+            return Err(format!(
+                "--{key} only applies to --algorithm central-anytime"
+            ));
+        }
+    }
     // Two cases route through Engine::single: a Lemma 2 strategy
     // override (only ASeparator may deviate from the O(R) quadtree; see
     // core::separator docs), and the adversarial layouts, which have no

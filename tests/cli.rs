@@ -179,6 +179,240 @@ fn strategy_on_non_separator_algorithm_is_rejected() {
 }
 
 #[test]
+fn solve_central_anytime_is_byte_identical_across_workers() {
+    let run = |workers: &str| {
+        dftp(&[
+            "solve",
+            "--algorithm",
+            "central-anytime",
+            "--gen",
+            "disk",
+            "--n",
+            "80",
+            "--radius",
+            "15",
+            "--seed",
+            "4",
+            "--workers",
+            workers,
+        ])
+    };
+    let one = run("1");
+    assert!(one.status.success(), "stderr: {}", stderr(&one));
+    let text = stdout(&one);
+    assert!(text.contains("central[anytime] on n=80"), "{text}");
+    assert!(text.contains("tree digest 0x"), "{text}");
+    assert!(text.contains("rounds "), "{text}");
+    for workers in ["2", "4"] {
+        let par = run(workers);
+        assert!(par.status.success(), "stderr: {}", stderr(&par));
+        assert_eq!(
+            text,
+            stdout(&par),
+            "solve output must be byte-identical at --workers {workers}"
+        );
+    }
+}
+
+#[test]
+fn solve_central_strategy_and_optimal_run_without_the_simulator() {
+    let out = dftp(&[
+        "solve",
+        "--algorithm",
+        "central:greedy",
+        "--gen",
+        "disk",
+        "--n",
+        "30",
+        "--radius",
+        "8",
+        "--seed",
+        "2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("central[greedy] on n=30"), "{text}");
+    assert!(text.contains("tree digest 0x"), "{text}");
+    let out = dftp(&[
+        "solve",
+        "--algorithm",
+        "optimal",
+        "--gen",
+        "disk",
+        "--n",
+        "6",
+        "--radius",
+        "4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("central[optimal] on n=6"),
+        "{}",
+        stdout(&out)
+    );
+    // Branch and bound is exponential: a large n is an error, not a hang.
+    let out = dftp(&[
+        "solve",
+        "--algorithm",
+        "optimal",
+        "--gen",
+        "disk",
+        "--n",
+        "50",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("n=50 > 10"), "{}", stderr(&out));
+}
+
+#[test]
+fn solve_central_anytime_rejects_zero_budget_and_zero_workers() {
+    let base = [
+        "solve",
+        "--algorithm",
+        "central-anytime",
+        "--gen",
+        "disk",
+        "--n",
+        "20",
+    ];
+    let mut zero_workers = base.to_vec();
+    zero_workers.extend(["--workers", "0"]);
+    let out = dftp(&zero_workers);
+    assert!(!out.status.success(), "--workers 0 must be rejected");
+    assert!(
+        stderr(&out).contains("--workers must be at least 1"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let mut zero_budget = base.to_vec();
+    zero_budget.extend(["--time-budget", "0"]);
+    let out = dftp(&zero_budget);
+    assert!(!out.status.success(), "--time-budget 0 must be rejected");
+    assert!(
+        stderr(&out).contains("--time-budget must be positive"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let mut bad_budget = base.to_vec();
+    bad_budget.extend(["--time-budget", "soon"]);
+    let out = dftp(&bad_budget);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--time-budget expects seconds"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn solve_central_option_combinations_are_validated() {
+    // --workers/--time-budget without central-anytime.
+    let out = dftp(&[
+        "solve",
+        "--algorithm",
+        "central:greedy",
+        "--gen",
+        "disk",
+        "--workers",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--workers only applies to --algorithm central-anytime"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let out = dftp(&[
+        "solve",
+        "--alg",
+        "grid",
+        "--gen",
+        "disk",
+        "--time-budget",
+        "5",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--time-budget only applies"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // --algorithm and --alg cannot be mixed.
+    let out = dftp(&[
+        "solve",
+        "--alg",
+        "grid",
+        "--algorithm",
+        "central-anytime",
+        "--gen",
+        "disk",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--algorithm replaces --alg"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // A distributed spec under --algorithm points back to --alg.
+    let out = dftp(&["solve", "--algorithm", "wave", "--gen", "disk"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("use --alg wave"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // Centralized baselines need concrete positions.
+    let out = dftp(&[
+        "solve",
+        "--algorithm",
+        "central-anytime",
+        "--gen",
+        "theorem2",
+        "--n",
+        "40",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("needs known positions"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn solve_central_anytime_accepts_a_time_budget() {
+    // A generous budget on a tiny instance: the iteration budget ends the
+    // search long before the deadline, so the result is still the
+    // deterministic fixed-iteration answer.
+    let budgeted = dftp(&[
+        "solve",
+        "--algorithm",
+        "central-anytime",
+        "--gen",
+        "disk",
+        "--n",
+        "40",
+        "--seed",
+        "6",
+        "--time-budget",
+        "120",
+    ]);
+    assert!(budgeted.status.success(), "stderr: {}", stderr(&budgeted));
+    let unbudgeted = dftp(&[
+        "solve",
+        "--algorithm",
+        "central-anytime",
+        "--gen",
+        "disk",
+        "--n",
+        "40",
+        "--seed",
+        "6",
+    ]);
+    assert_eq!(stdout(&budgeted), stdout(&unbudgeted));
+}
+
+#[test]
 fn solve_runs_adversarial_layouts_through_the_engine() {
     let out = dftp(&[
         "solve",
